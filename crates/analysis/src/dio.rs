@@ -1,0 +1,276 @@
+//! Bounded linear Diophantine equations over strided index ranges.
+//!
+//! The central question of Snowflake's analysis: given two 1-D affine
+//! accesses, each sweeping a finite strided range, can they produce the
+//! same index? Writing the ranges as `v1 = s1 + k1·t1` (`0 <= k1 < n1`) and
+//! `v2 = s2 + k2·t2` (`0 <= k2 < n2`), equality is the linear Diophantine
+//! equation `t1·k1 − t2·k2 = s2 − s1`, solvable with the extended Euclidean
+//! algorithm; the *finite-domain* part then restricts the one-parameter
+//! solution family to the bounds — that restriction is what lets the
+//! analysis prove (for example) that Dirichlet ghost faces cannot interfere
+//! with each other.
+
+use crate::math::{div_ceil, div_floor, egcd};
+
+/// A finite 1-D arithmetic progression: `start + k·step` for `0 <= k < count`.
+///
+/// `step` may be zero or negative; a zero step with `count > 1` denotes a
+/// degenerate access that reads the same index repeatedly (it arises when
+/// an access map has scale 0 in some dimension).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StridedRange {
+    /// First value.
+    pub start: i128,
+    /// Number of values (may be zero, meaning the range is empty).
+    pub count: i128,
+    /// Increment between consecutive values.
+    pub step: i128,
+}
+
+impl StridedRange {
+    /// Construct a range.
+    pub fn new(start: i128, count: i128, step: i128) -> Self {
+        StridedRange { start, count, step }
+    }
+
+    /// Is the range empty?
+    pub fn is_empty(&self) -> bool {
+        self.count <= 0
+    }
+
+    /// Value at position `k` (unchecked).
+    pub fn at(&self, k: i128) -> i128 {
+        self.start + k * self.step
+    }
+
+    /// Does the range contain value `v`?
+    pub fn contains(&self, v: i128) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        if self.step == 0 {
+            return v == self.start;
+        }
+        let d = v - self.start;
+        d % self.step == 0 && {
+            let k = d / self.step;
+            (0..self.count).contains(&k)
+        }
+    }
+}
+
+/// Does there exist `(k1, k2)` with `r1.at(k1) == r2.at(k2)`?
+///
+/// This is the bounded linear Diophantine satisfiability test at the heart
+/// of the analysis.
+pub fn ranges_intersect(r1: StridedRange, r2: StridedRange) -> bool {
+    solve_pair(r1, r2).is_some()
+}
+
+/// Find a witness `(k1, k2)` with `r1.at(k1) == r2.at(k2)`, if any exists.
+pub fn solve_pair(r1: StridedRange, r2: StridedRange) -> Option<(i128, i128)> {
+    if r1.is_empty() || r2.is_empty() {
+        return None;
+    }
+    let c = r2.start - r1.start; // t1*k1 - t2*k2 = c
+    let (a, b) = (r1.step, -r2.step);
+
+    if a == 0 && b == 0 {
+        return if c == 0 { Some((0, 0)) } else { None };
+    }
+    if a == 0 {
+        // b*k2 = c
+        if c % b != 0 {
+            return None;
+        }
+        let k2 = c / b;
+        return if (0..r2.count).contains(&k2) {
+            Some((0, k2))
+        } else {
+            None
+        };
+    }
+    if b == 0 {
+        if c % a != 0 {
+            return None;
+        }
+        let k1 = c / a;
+        return if (0..r1.count).contains(&k1) {
+            Some((k1, 0))
+        } else {
+            None
+        };
+    }
+
+    let (g, x0, y0) = egcd(a, b);
+    if c % g != 0 {
+        return None;
+    }
+    let scale = c / g;
+    // Particular solution.
+    let k1p = x0 * scale;
+    let k2p = y0 * scale;
+    // General solution: k1 = k1p + (b/g)·t, k2 = k2p − (a/g)·t.
+    let bs = b / g;
+    let as_ = a / g;
+
+    // Bound t so that 0 <= k1 < n1.
+    let (mut tlo, mut thi) = (i128::MIN, i128::MAX);
+    clamp_param(&mut tlo, &mut thi, bs, -k1p, r1.count - 1 - k1p)?;
+    // 0 <= k2 < n2  ⇔  0 <= k2p − as·t < n2  ⇔  −k2p <= −as·t <= n2−1−k2p
+    clamp_param(&mut tlo, &mut thi, -as_, -k2p, r2.count - 1 - k2p)?;
+
+    if tlo > thi {
+        return None;
+    }
+    // Both clamps ran with non-zero coefficients, so the bounds are finite;
+    // any t in [tlo, thi] is a witness.
+    let t = tlo;
+    let k1 = k1p + bs * t;
+    let k2 = k2p - as_ * t;
+    debug_assert!((0..r1.count).contains(&k1) && (0..r2.count).contains(&k2));
+    debug_assert_eq!(r1.at(k1), r2.at(k2));
+    Some((k1, k2))
+}
+
+/// Intersect `[lo, hi]` (as bounds on `t`) with `lo_v <= coef·t <= hi_v`.
+/// Returns `None` when `coef == 0` and the constant constraint fails.
+fn clamp_param(
+    tlo: &mut i128,
+    thi: &mut i128,
+    coef: i128,
+    lo_v: i128,
+    hi_v: i128,
+) -> Option<()> {
+    if coef == 0 {
+        // Constraint is 0 in [lo_v, hi_v].
+        if lo_v > 0 || hi_v < 0 {
+            return None;
+        }
+        return Some(());
+    }
+    let (a, b) = if coef > 0 {
+        (div_ceil(lo_v, coef), div_floor(hi_v, coef))
+    } else {
+        (div_ceil(hi_v, coef), div_floor(lo_v, coef))
+    };
+    *tlo = (*tlo).max(a);
+    *thi = (*thi).min(b);
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Brute-force oracle.
+    fn brute(r1: StridedRange, r2: StridedRange) -> bool {
+        (0..r1.count).any(|k1| (0..r2.count).any(|k2| r1.at(k1) == r2.at(k2)))
+    }
+
+    #[test]
+    fn disjoint_parities_never_intersect() {
+        // Red vs black in 1-D: evens vs odds.
+        let red = StridedRange::new(1, 50, 2);
+        let black = StridedRange::new(2, 50, 2);
+        assert!(!ranges_intersect(red, black));
+        assert!(ranges_intersect(red, red));
+    }
+
+    #[test]
+    fn offset_shifts_parity() {
+        // Black shifted by -1 lands on red.
+        let red = StridedRange::new(1, 4, 2); // 1 3 5 7
+        let black_m1 = StridedRange::new(1, 4, 2); // (2..8 step 2) - 1
+        assert!(ranges_intersect(red, black_m1));
+    }
+
+    #[test]
+    fn bounded_no_solution_even_when_unbounded_has_one() {
+        // 3k1 == 5k2 + 1 has integer solutions (k1=2,k2=1), but not within
+        // k1 < 2.
+        let r1 = StridedRange::new(0, 2, 3); // 0 3
+        let r2 = StridedRange::new(1, 2, 5); // 1 6
+        assert!(!ranges_intersect(r1, r2));
+        let r1 = StridedRange::new(0, 3, 3); // 0 3 6
+        assert!(ranges_intersect(r1, r2));
+    }
+
+    #[test]
+    fn zero_steps() {
+        let a = StridedRange::new(4, 3, 0);
+        let b = StridedRange::new(4, 1, 7);
+        assert!(ranges_intersect(a, b));
+        let c = StridedRange::new(5, 1, 0);
+        assert!(!ranges_intersect(a, c));
+        assert!(ranges_intersect(StridedRange::new(8, 10, -1), a)); // 8,7,..,-1 hits 4
+    }
+
+    #[test]
+    fn empty_ranges_never_intersect() {
+        let e = StridedRange::new(0, 0, 1);
+        let f = StridedRange::new(0, 10, 1);
+        assert!(!ranges_intersect(e, f));
+        assert!(!ranges_intersect(f, e));
+    }
+
+    #[test]
+    fn negative_steps() {
+        let down = StridedRange::new(10, 5, -2); // 10 8 6 4 2
+        let up = StridedRange::new(1, 5, 2); // 1 3 5 7 9
+        assert!(!ranges_intersect(down, up));
+        let up2 = StridedRange::new(0, 5, 2); // 0 2 4 6 8
+        assert!(ranges_intersect(down, up2));
+    }
+
+    #[test]
+    fn contains_matches_at() {
+        let r = StridedRange::new(3, 5, 4); // 3 7 11 15 19
+        for k in 0..5 {
+            assert!(r.contains(r.at(k)));
+        }
+        assert!(!r.contains(5));
+        assert!(!r.contains(23));
+        assert!(!r.contains(-1));
+    }
+
+    #[test]
+    fn witness_is_valid() {
+        let r1 = StridedRange::new(0, 100, 3);
+        let r2 = StridedRange::new(1, 100, 7);
+        let (k1, k2) = solve_pair(r1, r2).unwrap();
+        assert_eq!(r1.at(k1), r2.at(k2));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(2000))]
+        #[test]
+        fn matches_brute_force(
+            s1 in -20i128..20, n1 in 0i128..12, t1 in -6i128..6,
+            s2 in -20i128..20, n2 in 0i128..12, t2 in -6i128..6,
+        ) {
+            let r1 = StridedRange::new(s1, n1, t1);
+            let r2 = StridedRange::new(s2, n2, t2);
+            let expect = brute(r1, r2);
+            prop_assert_eq!(ranges_intersect(r1, r2), expect,
+                "r1={:?} r2={:?}", r1, r2);
+            if expect {
+                let (k1, k2) = solve_pair(r1, r2).unwrap();
+                prop_assert!((0..n1).contains(&k1) && (0..n2).contains(&k2));
+                prop_assert_eq!(r1.at(k1), r2.at(k2));
+            }
+        }
+
+        #[test]
+        fn large_ranges_dont_overflow(
+            s1 in -1_000_000i128..1_000_000, t1 in 1i128..1000,
+            s2 in -1_000_000i128..1_000_000, t2 in 1i128..1000,
+        ) {
+            let r1 = StridedRange::new(s1, 1_000_000, t1);
+            let r2 = StridedRange::new(s2, 1_000_000, t2);
+            // Just must not panic / must agree with a coarse necessary check.
+            let _ = ranges_intersect(r1, r2);
+        }
+    }
+}

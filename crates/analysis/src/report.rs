@@ -1,0 +1,127 @@
+//! Human-readable analysis reports.
+//!
+//! §III positions the Diophantine engine as a *verification* tool as much
+//! as an optimizer ("used for both verification and auto-parallelizing").
+//! [`report`] renders everything the analysis concluded about a resolved
+//! stencil group — per-stencil parallel-safety, the dependence DAG with
+//! hazard kinds, the barrier phases, and fusion candidates — as text for
+//! logs, debugging and documentation (the `codegen_tour` example prints
+//! one).
+
+use std::fmt::Write as _;
+
+use crate::deps::{is_parallel_safe, ResolvedStencil};
+use crate::schedule::{dependence_dag, fusible_pairs, greedy_phases};
+use crate::DepKind;
+
+/// Render the complete analysis verdict for a resolved group.
+pub fn report(stencils: &[ResolvedStencil]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== Snowflake dependence analysis ===");
+    let _ = writeln!(out, "stencils: {}", stencils.len());
+    for (i, rs) in stencils.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  [{i:>2}] {:<24} {:>8} pts  in-place: {:<5}  parallel-safe: {}",
+            rs.stencil.name(),
+            rs.num_points(),
+            rs.stencil.is_in_place(),
+            is_parallel_safe(rs)
+        );
+    }
+
+    let dag = dependence_dag(stencils);
+    let edges: usize = dag.iter().map(|e| e.len()).sum();
+    let _ = writeln!(out, "dependences: {edges} edges");
+    for (j, preds) in dag.iter().enumerate() {
+        for &(i, kind) in preds {
+            let k = match kind {
+                DepKind::ReadAfterWrite => "RAW",
+                DepKind::WriteAfterRead => "WAR",
+                DepKind::WriteAfterWrite => "WAW",
+            };
+            let _ = writeln!(
+                out,
+                "  {} -[{k}]-> {}",
+                stencils[i].stencil.name(),
+                stencils[j].stencil.name()
+            );
+        }
+    }
+
+    let sched = greedy_phases(stencils);
+    let _ = writeln!(
+        out,
+        "schedule: {} phases, {} barriers",
+        sched.phases.len(),
+        sched.num_barriers()
+    );
+    for (p, phase) in sched.phases.iter().enumerate() {
+        let names: Vec<&str> = phase
+            .iter()
+            .map(|&i| stencils[i].stencil.name())
+            .collect();
+        let _ = writeln!(out, "  phase {p}: {names:?}");
+    }
+
+    let fusible = fusible_pairs(stencils, &sched);
+    if fusible.is_empty() {
+        let _ = writeln!(out, "fusion candidates: none");
+    } else {
+        let _ = writeln!(out, "fusion candidates:");
+        for (a, b) in fusible {
+            let _ = writeln!(
+                out,
+                "  {} + {}",
+                stencils[a].stencil.name(),
+                stencils[b].stencil.name()
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snowflake_core::{DomainUnion, Expr, RectDomain, ShapeMap, Stencil};
+
+    #[test]
+    fn report_covers_all_sections() {
+        let mut shapes = ShapeMap::new();
+        shapes.insert("x".into(), vec![10, 10]);
+        shapes.insert("y".into(), vec![10, 10]);
+        shapes.insert("z".into(), vec![10, 10]);
+        let (red, black) = DomainUnion::red_black(2);
+        let avg = Expr::read_at("x", &[0, 1]) * 0.5 + Expr::read_at("x", &[0, -1]) * 0.5;
+        let stencils: Vec<ResolvedStencil> = [
+            Stencil::new(avg.clone(), "x", red).named("red"),
+            Stencil::new(avg, "x", black).named("black"),
+            Stencil::new(Expr::read_at("x", &[0, 0]), "y", RectDomain::interior(2)).named("copy_y"),
+            Stencil::new(Expr::read_at("x", &[0, 0]), "z", RectDomain::interior(2)).named("copy_z"),
+        ]
+        .iter()
+        .map(|s| ResolvedStencil::resolve(s, &shapes).unwrap())
+        .collect();
+
+        let text = report(&stencils);
+        assert!(text.contains("stencils: 4"));
+        assert!(text.contains("parallel-safe: true"));
+        assert!(text.contains("-[RAW]->"), "{text}");
+        assert!(text.contains("phase 0"));
+        // copy_y and copy_z share the interior region and a phase.
+        assert!(text.contains("copy_y + copy_z"), "{text}");
+    }
+
+    #[test]
+    fn report_flags_unsafe_stencils() {
+        let mut shapes = ShapeMap::new();
+        shapes.insert("x".into(), vec![10]);
+        let gs = Stencil::new(Expr::read_at("x", &[-1]), "x", RectDomain::interior(1))
+            .named("gauss_seidel");
+        let rs = vec![ResolvedStencil::resolve(&gs, &shapes).unwrap()];
+        let text = report(&rs);
+        assert!(text.contains("parallel-safe: false"));
+        assert!(text.contains("fusion candidates: none"));
+    }
+}

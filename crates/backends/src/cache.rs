@@ -1,0 +1,135 @@
+//! Compilation caching: the paper's "call-ables are cached, for subsequent
+//! use".
+//!
+//! A multigrid solver compiles the same smoother for every level shape and
+//! re-runs it hundreds of times; the cache keys on the structural identity
+//! of (group, shapes) so each distinct (program, size) pair is compiled
+//! once per backend.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use snowflake_core::{Result, ShapeMap, StencilGroup};
+use snowflake_grid::GridSet;
+
+use crate::{Backend, Executable};
+
+/// A memoizing wrapper around a backend.
+pub struct CompileCache {
+    backend: Box<dyn Backend>,
+    map: Mutex<HashMap<String, Arc<dyn Executable>>>,
+    hits: Mutex<u64>,
+    misses: Mutex<u64>,
+}
+
+impl CompileCache {
+    /// Wrap a backend.
+    pub fn new(backend: Box<dyn Backend>) -> Self {
+        CompileCache {
+            backend,
+            map: Mutex::new(HashMap::new()),
+            hits: Mutex::new(0),
+            misses: Mutex::new(0),
+        }
+    }
+
+    /// Name of the wrapped backend.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// Fetch or compile the executable for (group, shapes).
+    pub fn get_or_compile(
+        &self,
+        group: &StencilGroup,
+        shapes: &ShapeMap,
+    ) -> Result<Arc<dyn Executable>> {
+        let key = cache_key(group, shapes);
+        if let Some(exe) = self.map.lock().unwrap().get(&key) {
+            *self.hits.lock().unwrap() += 1;
+            return Ok(exe.clone());
+        }
+        *self.misses.lock().unwrap() += 1;
+        let exe: Arc<dyn Executable> = Arc::from(self.backend.compile(group, shapes)?);
+        self.map
+            .lock()
+            .unwrap()
+            .insert(key, exe.clone());
+        Ok(exe)
+    }
+
+    /// Compile (cached) and run once.
+    pub fn run(&self, group: &StencilGroup, grids: &mut GridSet) -> Result<()> {
+        let exe = self.get_or_compile(group, &grids.shapes())?;
+        exe.run(grids)
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (*self.hits.lock().unwrap(), *self.misses.lock().unwrap())
+    }
+}
+
+/// Structural cache key: the debug rendering of the group plus the sorted
+/// shape bindings. Expressions, domains and maps all derive `Debug`
+/// deterministically, so equal programs produce equal keys.
+fn cache_key(group: &StencilGroup, shapes: &ShapeMap) -> String {
+    let mut entries: Vec<(&String, &Vec<usize>)> = shapes.iter().collect();
+    entries.sort();
+    format!("{group:?}|{entries:?}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SequentialBackend;
+    use snowflake_core::{Expr, RectDomain, Stencil};
+    use snowflake_grid::Grid;
+
+    fn group() -> StencilGroup {
+        StencilGroup::from(Stencil::new(
+            Expr::read_at("x", &[0, 0]) * 2.0,
+            "y",
+            RectDomain::interior(2),
+        ))
+    }
+
+    #[test]
+    fn second_compile_hits_cache() {
+        let cache = CompileCache::new(Box::new(SequentialBackend::new()));
+        let mut gs = GridSet::new();
+        gs.insert("x", Grid::new(&[8, 8]));
+        gs.insert("y", Grid::new(&[8, 8]));
+        cache.run(&group(), &mut gs).unwrap();
+        cache.run(&group(), &mut gs).unwrap();
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn different_shapes_compile_separately() {
+        let cache = CompileCache::new(Box::new(SequentialBackend::new()));
+        for n in [8usize, 16] {
+            let mut gs = GridSet::new();
+            gs.insert("x", Grid::new(&[n, n]));
+            gs.insert("y", Grid::new(&[n, n]));
+            cache.run(&group(), &mut gs).unwrap();
+        }
+        assert_eq!(cache.stats(), (0, 2));
+    }
+
+    #[test]
+    fn different_groups_compile_separately() {
+        let cache = CompileCache::new(Box::new(SequentialBackend::new()));
+        let g2 = StencilGroup::from(Stencil::new(
+            Expr::read_at("x", &[0, 0]) * 3.0,
+            "y",
+            RectDomain::interior(2),
+        ));
+        let mut gs = GridSet::new();
+        gs.insert("x", Grid::new(&[8, 8]));
+        gs.insert("y", Grid::new(&[8, 8]));
+        cache.run(&group(), &mut gs).unwrap();
+        cache.run(&g2, &mut gs).unwrap();
+        assert_eq!(cache.stats(), (0, 2));
+    }
+}

@@ -1,0 +1,713 @@
+//! The shared kernel executor: runs one lowered kernel over one region.
+//!
+//! All CPU backends (sequential, OpenMP-like, OpenCL-simulator) funnel into
+//! [`run_kernel_region`]. The loop nest walks the region in row-major
+//! order, keeping one linear *cursor* per access class; the innermost loop
+//! advances the cursors by precomputed steps and evaluates either the
+//! linear-form fast path (fused multiply-adds) or the bytecode program.
+//!
+//! Execution order within a region is canonical row-major, which defines
+//! the semantics of kernels that are *not* parallel-safe (lexicographic
+//! Gauss-Seidel); parallel-safe kernels are order-independent by the
+//! Diophantine proof, so backends may split regions freely.
+
+#![allow(clippy::needless_range_loop)] // cursor bumps index parallel fixed arrays
+
+use snowflake_ir::bytecode::LinearForm;
+use snowflake_ir::{LoweredKernel, Op};
+use snowflake_grid::Region;
+
+use crate::view::GridPtrs;
+
+/// Maximum cursor classes per kernel (grids × distinct scales).
+pub const MAX_CLASSES: usize = 16;
+/// Maximum bytecode stack depth.
+pub const MAX_STACK: usize = 32;
+
+/// Check executor limits for a kernel; backends call this at compile time
+/// so `run_kernel_region` can use fixed-size scratch arrays.
+pub fn check_limits(kernel: &LoweredKernel) -> snowflake_core::Result<()> {
+    if kernel.classes.len() > MAX_CLASSES {
+        return Err(snowflake_core::CoreError::Backend(format!(
+            "kernel {:?} uses {} access classes (limit {MAX_CLASSES})",
+            kernel.name,
+            kernel.classes.len()
+        )));
+    }
+    if kernel.program.stack_need > MAX_STACK {
+        return Err(snowflake_core::CoreError::Backend(format!(
+            "kernel {:?} needs stack depth {} (limit {MAX_STACK})",
+            kernel.name, kernel.program.stack_need
+        )));
+    }
+    Ok(())
+}
+
+/// Execute `kernel` over `region` through `view`.
+///
+/// # Safety
+/// The caller must guarantee:
+/// * `view` holds valid pointers for every grid the kernel addresses, with
+///   the shapes the kernel was lowered for (so all accesses are in
+///   bounds — established by `Stencil::validate`);
+/// * no other thread concurrently accesses any cell this invocation
+///   touches (established by the dependence analysis / barrier phases).
+pub unsafe fn run_kernel_region(kernel: &LoweredKernel, view: &GridPtrs<'_>, region: &Region) {
+    if region.is_empty() {
+        return;
+    }
+    let nd = region.ndim();
+    let last = nd - 1;
+    let ncls = kernel.classes.len();
+    debug_assert!(ncls <= MAX_CLASSES);
+
+    // Per-class grid table and innermost steps.
+    let mut class_grid = [0usize; MAX_CLASSES];
+    let mut inner_step = [0isize; MAX_CLASSES];
+    for (c, cl) in kernel.classes.iter().enumerate() {
+        class_grid[c] = cl.grid;
+        inner_step[c] = cl.step(last, region.stride[last]);
+    }
+    let out_class = kernel.out_class as usize;
+    let out_grid = kernel.out_grid;
+    let out_delta = kernel.out_delta;
+    let e_last = region.extent(last);
+
+    // Odometer over the outer dimensions; cursors recomputed per row (the
+    // row interior is the hot path).
+    let mut p: Vec<i64> = region.lo.clone();
+    loop {
+        let mut cur = [0isize; MAX_CLASSES];
+        for (c, cl) in kernel.classes.iter().enumerate() {
+            cur[c] = cl.cursor_at(&p);
+        }
+        let mut out_idx = cur[out_class] + out_delta;
+        let out_step = inner_step[out_class];
+
+        // Unit-stride rows of parallel-safe kernels take the vectorized
+        // executors: per-term slice passes the compiler can SIMD. (The
+        // chunked read-all-then-write-all order is safe exactly because
+        // the Diophantine analysis proved no iteration reads another
+        // iteration's write.)
+        let unit = kernel.parallel_safe
+            && out_step == 1
+            && inner_step[..ncls].iter().all(|&st| st == 1);
+        if let Some(lf) = &kernel.linear {
+            if unit {
+                run_row_linear_unit(lf, view, &cur, &class_grid, e_last, out_grid, out_idx);
+            } else {
+                run_row_linear(lf, view, &mut cur, &class_grid, &inner_step, ncls, e_last, {
+                    RowOut {
+                        grid: out_grid,
+                        idx: &mut out_idx,
+                        step: out_step,
+                    }
+                });
+            }
+        } else if let Some(pf) = &kernel.poly {
+            if unit {
+                run_row_poly_unit(pf, view, &cur, &class_grid, e_last, out_grid, out_idx);
+            } else {
+                run_row_poly(pf, view, &mut cur, &class_grid, &inner_step, ncls, e_last, {
+                    RowOut {
+                        grid: out_grid,
+                        idx: &mut out_idx,
+                        step: out_step,
+                    }
+                });
+            }
+        } else {
+            for _ in 0..e_last {
+                let v = eval_bytecode(kernel, &cur, &class_grid, view);
+                view.write(out_grid, out_idx, v);
+                for s in 0..ncls {
+                    cur[s] += inner_step[s];
+                }
+                out_idx += out_step;
+            }
+        }
+
+        // Advance the outer odometer.
+        if nd == 1 {
+            return;
+        }
+        let mut d = last - 1;
+        loop {
+            p[d] += region.stride[d];
+            if p[d] < region.hi[d] {
+                break;
+            }
+            p[d] = region.lo[d];
+            if d == 0 {
+                return;
+            }
+            d -= 1;
+        }
+    }
+}
+
+struct RowOut<'a> {
+    grid: usize,
+    idx: &'a mut isize,
+    step: isize,
+}
+
+/// Execute several kernels *fused* over one shared region: a single
+/// traversal of the iteration space, with every kernel's row evaluated
+/// back-to-back while the data is cache-resident (§VII's "mark stencils
+/// for fusion", taken to execution).
+///
+/// # Safety
+/// As [`run_kernel_region`], for every kernel; additionally the kernels
+/// must be mutually independent (same barrier phase), so any interleaving
+/// of their iterations is legal.
+pub unsafe fn run_fused_region(
+    kernels: &[&LoweredKernel],
+    view: &GridPtrs<'_>,
+    region: &Region,
+) {
+    if region.is_empty() || kernels.is_empty() {
+        return;
+    }
+    let nd = region.ndim();
+    let last = nd - 1;
+    let e_last = region.extent(last);
+
+    // Per-kernel row context.
+    struct Ctx<'k> {
+        kernel: &'k LoweredKernel,
+        class_grid: [usize; MAX_CLASSES],
+        inner_step: [isize; MAX_CLASSES],
+        unit: bool,
+    }
+    let ctxs: Vec<Ctx<'_>> = kernels
+        .iter()
+        .map(|kernel| {
+            let mut class_grid = [0usize; MAX_CLASSES];
+            let mut inner_step = [0isize; MAX_CLASSES];
+            for (c, cl) in kernel.classes.iter().enumerate() {
+                class_grid[c] = cl.grid;
+                inner_step[c] = cl.step(last, region.stride[last]);
+            }
+            let ncls = kernel.classes.len();
+            let out_step = inner_step[kernel.out_class as usize];
+            let unit = kernel.parallel_safe
+                && out_step == 1
+                && inner_step[..ncls].iter().all(|&st| st == 1);
+            Ctx {
+                kernel,
+                class_grid,
+                inner_step,
+                unit,
+            }
+        })
+        .collect();
+
+    let mut p: Vec<i64> = region.lo.clone();
+    loop {
+        for ctx in &ctxs {
+            let kernel = ctx.kernel;
+            let ncls = kernel.classes.len();
+            let mut cur = [0isize; MAX_CLASSES];
+            for (c, cl) in kernel.classes.iter().enumerate() {
+                cur[c] = cl.cursor_at(&p);
+            }
+            let mut out_idx = cur[kernel.out_class as usize] + kernel.out_delta;
+            let out_step = ctx.inner_step[kernel.out_class as usize];
+            if let Some(lf) = &kernel.linear {
+                if ctx.unit {
+                    run_row_linear_unit(
+                        lf,
+                        view,
+                        &cur,
+                        &ctx.class_grid,
+                        e_last,
+                        kernel.out_grid,
+                        out_idx,
+                    );
+                } else {
+                    run_row_linear(
+                        lf,
+                        view,
+                        &mut cur,
+                        &ctx.class_grid,
+                        &ctx.inner_step,
+                        ncls,
+                        e_last,
+                        RowOut {
+                            grid: kernel.out_grid,
+                            idx: &mut out_idx,
+                            step: out_step,
+                        },
+                    );
+                }
+            } else if let Some(pf) = &kernel.poly {
+                if ctx.unit {
+                    run_row_poly_unit(
+                        pf,
+                        view,
+                        &cur,
+                        &ctx.class_grid,
+                        e_last,
+                        kernel.out_grid,
+                        out_idx,
+                    );
+                } else {
+                    run_row_poly(
+                        pf,
+                        view,
+                        &mut cur,
+                        &ctx.class_grid,
+                        &ctx.inner_step,
+                        ncls,
+                        e_last,
+                        RowOut {
+                            grid: kernel.out_grid,
+                            idx: &mut out_idx,
+                            step: out_step,
+                        },
+                    );
+                }
+            } else {
+                for _ in 0..e_last {
+                    let v = eval_bytecode(kernel, &cur, &ctx.class_grid, view);
+                    view.write(kernel.out_grid, out_idx, v);
+                    for s in 0..ncls {
+                        cur[s] += ctx.inner_step[s];
+                    }
+                    out_idx += out_step;
+                }
+            }
+        }
+        if nd == 1 {
+            return;
+        }
+        let mut d = last - 1;
+        loop {
+            p[d] += region.stride[d];
+            if p[d] < region.hi[d] {
+                break;
+            }
+            p[d] = region.lo[d];
+            if d == 0 {
+                return;
+            }
+            d -= 1;
+        }
+    }
+}
+
+/// Row chunk length for the vectorized executors: long enough to amortize
+/// per-term loop overhead, short enough to stay in L1.
+const CHUNK: usize = 128;
+
+/// Vectorized row executor for linear kernels on unit-stride rows: one
+/// axpy-style pass over the row per term, which the compiler turns into
+/// SIMD loops (the per-point interpreted path cannot be vectorized).
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+unsafe fn run_row_linear_unit(
+    lf: &LinearForm,
+    view: &GridPtrs<'_>,
+    cur: &[isize; MAX_CLASSES],
+    class_grid: &[usize; MAX_CLASSES],
+    count: i64,
+    out_grid: usize,
+    out_start: isize,
+) {
+    let mut done = 0usize;
+    let total = count as usize;
+    let mut acc = [0.0f64; CHUNK];
+    while done < total {
+        let len = CHUNK.min(total - done);
+        acc[..len].fill(lf.bias);
+        for &(c, d, k) in &lf.terms {
+            let src = view.row(
+                class_grid[c as usize],
+                cur[c as usize] + d + done as isize,
+                len,
+            );
+            for (a, &s) in acc[..len].iter_mut().zip(src) {
+                *a += k * s;
+            }
+        }
+        let dst = view.row_mut(out_grid, out_start + done as isize, len);
+        dst.copy_from_slice(&acc[..len]);
+        done += len;
+    }
+}
+
+/// Vectorized row executor for sum-of-products kernels on unit-stride
+/// rows: per term, an elementwise product pass then an accumulate pass.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+unsafe fn run_row_poly_unit(
+    pf: &snowflake_ir::bytecode::PolyForm,
+    view: &GridPtrs<'_>,
+    cur: &[isize; MAX_CLASSES],
+    class_grid: &[usize; MAX_CLASSES],
+    count: i64,
+    out_grid: usize,
+    out_start: isize,
+) {
+    let mut done = 0usize;
+    let total = count as usize;
+    let mut acc = [0.0f64; CHUNK];
+    let mut prod = [0.0f64; CHUNK];
+    while done < total {
+        let len = CHUNK.min(total - done);
+        acc[..len].fill(pf.bias);
+        let mut r = 0usize;
+        for (t, &coeff) in pf.flat_coeffs.iter().enumerate() {
+            let deg = pf.flat_lens[t] as usize;
+            prod[..len].fill(coeff);
+            for &(c, d) in &pf.flat_reads[r..r + deg] {
+                let src = view.row(
+                    class_grid[c as usize],
+                    cur[c as usize] + d + done as isize,
+                    len,
+                );
+                for (p, &s) in prod[..len].iter_mut().zip(src) {
+                    *p *= s;
+                }
+            }
+            r += deg;
+            for (a, &p) in acc[..len].iter_mut().zip(&prod[..len]) {
+                *a += p;
+            }
+        }
+        let dst = view.row_mut(out_grid, out_start + done as isize, len);
+        dst.copy_from_slice(&acc[..len]);
+        done += len;
+    }
+}
+
+/// Hot loop for linear-form kernels: pure FMA chain per point.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+unsafe fn run_row_linear(
+    lf: &LinearForm,
+    view: &GridPtrs<'_>,
+    cur: &mut [isize; MAX_CLASSES],
+    class_grid: &[usize; MAX_CLASSES],
+    inner_step: &[isize; MAX_CLASSES],
+    ncls: usize,
+    count: i64,
+    out: RowOut<'_>,
+) {
+    let RowOut { grid, idx, step } = out;
+    for _ in 0..count {
+        let mut acc = lf.bias;
+        for &(c, d, k) in &lf.terms {
+            acc += k * view.read(class_grid[c as usize], cur[c as usize] + d);
+        }
+        view.write(grid, *idx, acc);
+        for s in 0..ncls {
+            cur[s] += inner_step[s];
+        }
+        *idx += step;
+    }
+}
+
+/// Hot loop for sum-of-products kernels (variable-coefficient operators):
+/// a flat multiply-accumulate chain per point.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+unsafe fn run_row_poly(
+    pf: &snowflake_ir::bytecode::PolyForm,
+    view: &GridPtrs<'_>,
+    cur: &mut [isize; MAX_CLASSES],
+    class_grid: &[usize; MAX_CLASSES],
+    inner_step: &[isize; MAX_CLASSES],
+    ncls: usize,
+    count: i64,
+    out: RowOut<'_>,
+) {
+    let RowOut { grid, idx, step } = out;
+    for _ in 0..count {
+        let mut acc = pf.bias;
+        let mut r = 0usize;
+        for (t, &coeff) in pf.flat_coeffs.iter().enumerate() {
+            let mut p = coeff;
+            let len = pf.flat_lens[t] as usize;
+            for &(c, d) in &pf.flat_reads[r..r + len] {
+                p *= view.read(class_grid[c as usize], cur[c as usize] + d);
+            }
+            r += len;
+            acc += p;
+        }
+        view.write(grid, *idx, acc);
+        for s in 0..ncls {
+            cur[s] += inner_step[s];
+        }
+        *idx += step;
+    }
+}
+
+/// Evaluate the bytecode program at the current cursors.
+#[inline(always)]
+unsafe fn eval_bytecode(
+    kernel: &LoweredKernel,
+    cur: &[isize; MAX_CLASSES],
+    class_grid: &[usize; MAX_CLASSES],
+    view: &GridPtrs<'_>,
+) -> f64 {
+    let mut stack = [0.0f64; MAX_STACK];
+    let mut sp = 0usize;
+    for op in &kernel.program.ops {
+        match *op {
+            Op::Const(c) => {
+                stack[sp] = c;
+                sp += 1;
+            }
+            Op::Read { class, delta } => {
+                stack[sp] = view.read(class_grid[class as usize], cur[class as usize] + delta);
+                sp += 1;
+            }
+            Op::Add => {
+                sp -= 1;
+                stack[sp - 1] += stack[sp];
+            }
+            Op::Sub => {
+                sp -= 1;
+                stack[sp - 1] -= stack[sp];
+            }
+            Op::Mul => {
+                sp -= 1;
+                stack[sp - 1] *= stack[sp];
+            }
+            Op::Div => {
+                sp -= 1;
+                stack[sp - 1] /= stack[sp];
+            }
+            Op::Neg => stack[sp - 1] = -stack[sp - 1],
+        }
+    }
+    debug_assert_eq!(sp, 1);
+    stack[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snowflake_core::{weights2, Component, Expr, RectDomain, ShapeMap, Stencil, StencilGroup};
+    use snowflake_grid::{Grid, GridSet};
+    use snowflake_ir::{lower_group, LowerOptions};
+
+    fn setup(n: usize) -> (GridSet, ShapeMap) {
+        let mut gs = GridSet::new();
+        let mut x = Grid::new(&[n, n]);
+        x.fill_random(7, -1.0, 1.0);
+        gs.insert("x", x);
+        gs.insert("y", Grid::new(&[n, n]));
+        let mut beta = Grid::new(&[n, n]);
+        beta.fill_random(9, 0.5, 1.5);
+        gs.insert("beta", beta);
+        let shapes = gs.shapes();
+        (gs, shapes)
+    }
+
+    fn run_one(group: &StencilGroup, gs: &mut GridSet) {
+        let lowered = lower_group(group, &gs.shapes(), &LowerOptions::default()).unwrap();
+        let (ptrs, lens) = crate::check_and_ptrs(&lowered, gs).unwrap();
+        let view = GridPtrs::new(&ptrs, &lens);
+        for k in &lowered.kernels {
+            check_limits(k).unwrap();
+            for r in &k.regions {
+                unsafe { run_kernel_region(k, &view, r) };
+            }
+        }
+    }
+
+    #[test]
+    fn laplacian_matches_expr_eval() {
+        let n = 12;
+        let (mut gs, shapes) = setup(n);
+        let lap = Component::new("x", weights2![[0, 1, 0], [1, -4, 1], [0, 1, 0]]);
+        let s = Stencil::new(lap, "y", RectDomain::interior(2));
+        let expr = s.expr().clone();
+        let group = StencilGroup::from(s);
+        let reference = {
+            let x = gs.get("x").unwrap().clone();
+            let mut want = Grid::new(&[n, n]);
+            let region = RectDomain::interior(2).resolve(&[n, n]).unwrap();
+            for p in region.points() {
+                let v = expr.eval(&p, &mut |_, idx| {
+                    x.get(&[idx[0] as usize, idx[1] as usize])
+                });
+                want.set(&[p[0] as usize, p[1] as usize], v);
+            }
+            want
+        };
+        run_one(&group, &mut gs);
+        assert_eq!(gs.get("y").unwrap().max_abs_diff(&reference), 0.0);
+        let _ = shapes;
+    }
+
+    #[test]
+    fn variable_coefficient_bytecode_path() {
+        let n = 10;
+        let (mut gs, _) = setup(n);
+        // y = beta * (x[+1] - x[-1]) — not linearizable.
+        let e = Expr::read_at("beta", &[0, 0])
+            * (Expr::read_at("x", &[0, 1]) - Expr::read_at("x", &[0, -1]));
+        let s = Stencil::new(e.clone(), "y", RectDomain::interior(2));
+        let group = StencilGroup::from(s);
+        let lowered = lower_group(&group, &gs.shapes(), &LowerOptions::default()).unwrap();
+        assert!(lowered.kernels[0].linear.is_none(), "must not linearize");
+        let (x, beta) = (gs.get("x").unwrap().clone(), gs.get("beta").unwrap().clone());
+        run_one(&group, &mut gs);
+        let y = gs.get("y").unwrap();
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                let want = beta.get(&[i, j]) * (x.get(&[i, j + 1]) - x.get(&[i, j - 1]));
+                assert!((y.get(&[i, j]) - want).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn linear_fast_path_is_used_and_correct() {
+        let n = 10;
+        let (mut gs, _) = setup(n);
+        let lap = Component::new("x", weights2![[0, 1, 0], [1, -4, 1], [0, 1, 0]]);
+        let group = StencilGroup::from(Stencil::new(lap, "y", RectDomain::interior(2)));
+        let lowered = lower_group(&group, &gs.shapes(), &LowerOptions::default()).unwrap();
+        assert!(lowered.kernels[0].linear.is_some(), "should linearize");
+        let x = gs.get("x").unwrap().clone();
+        run_one(&group, &mut gs);
+        let y = gs.get("y").unwrap();
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                let want = x.get(&[i - 1, j]) + x.get(&[i + 1, j]) + x.get(&[i, j - 1])
+                    + x.get(&[i, j + 1])
+                    - 4.0 * x.get(&[i, j]);
+                assert!((y.get(&[i, j]) - want).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn strided_region_execution() {
+        let n = 9;
+        let (mut gs, _) = setup(n);
+        // Write 1.0 to red points only.
+        let s = Stencil::new(
+            Expr::Const(1.0),
+            "y",
+            RectDomain::new(&[1, 1], &[-1, -1], &[2, 2]),
+        );
+        run_one(&StencilGroup::from(s), &mut gs);
+        let y = gs.get("y").unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                let expect = if i % 2 == 1 && j % 2 == 1 && i < n - 1 && j < n - 1 {
+                    1.0
+                } else {
+                    0.0
+                };
+                assert_eq!(y.get(&[i, j]), expect, "at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn in_place_sequential_gauss_seidel_semantics() {
+        // x[p] = x[p-1] over 1-D: serial semantics propagate the first cell.
+        let mut gs = GridSet::new();
+        let mut x = Grid::new(&[6]);
+        x.as_mut_slice().copy_from_slice(&[9.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        gs.insert("x", x);
+        let s = Stencil::new(
+            Expr::read_at("x", &[-1]),
+            "x",
+            RectDomain::new(&[1], &[0], &[1]),
+        );
+        run_one(&StencilGroup::from(s), &mut gs);
+        assert_eq!(gs.get("x").unwrap().as_slice(), &[9.0; 6]);
+    }
+
+    #[test]
+    fn scaled_restriction_kernel() {
+        // coarse[p] = (fine[2p] + fine[2p+1]) * 0.5 over p in [0, 4).
+        let mut gs = GridSet::new();
+        let fine = Grid::from_fn(&[8], |i| i[0] as f64);
+        gs.insert("fine", fine);
+        gs.insert("coarse", Grid::new(&[4]));
+        let e = (Expr::read_mapped("fine", snowflake_core::AffineMap::scaled(vec![2], vec![0]))
+            + Expr::read_mapped("fine", snowflake_core::AffineMap::scaled(vec![2], vec![1])))
+            * 0.5;
+        let s = Stencil::new(e, "coarse", RectDomain::new(&[0], &[0], &[1]));
+        run_one(&StencilGroup::from(s), &mut gs);
+        assert_eq!(gs.get("coarse").unwrap().as_slice(), &[0.5, 2.5, 4.5, 6.5]);
+    }
+
+    #[test]
+    fn vectorized_rows_handle_chunk_boundaries() {
+        // Rows shorter than, equal to, and longer than the CHUNK length
+        // must all agree with the reference (off-by-ones at chunk seams
+        // are the classic failure).
+        for n in [3usize, CHUNK, CHUNK + 1, 2 * CHUNK + 7] {
+            let shape = [3usize, n + 2];
+            let mut gs = GridSet::new();
+            let mut x = Grid::new(&shape);
+            x.fill_random(n as u64, -1.0, 1.0);
+            gs.insert("x", x);
+            gs.insert("y", Grid::new(&shape));
+            // Linear kernel (unit path) over a full row.
+            let e = Expr::read_at("x", &[0, 1]) * 2.0 + Expr::read_at("x", &[0, -1]);
+            let s = Stencil::new(e.clone(), "y", RectDomain::interior(2));
+            run_one(&StencilGroup::from(s), &mut gs);
+            let xg = gs.get("x").unwrap().clone();
+            let y = gs.get("y").unwrap();
+            for j in 1..=n {
+                let want = 2.0 * xg.get(&[1, j + 1]) + xg.get(&[1, j - 1]);
+                assert_eq!(y.get(&[1, j]), want, "n={n} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn poly_rows_handle_chunk_boundaries() {
+        for n in [CHUNK - 1, CHUNK, CHUNK + 3] {
+            let shape = [3usize, n + 2];
+            let mut gs = GridSet::new();
+            let mut x = Grid::new(&shape);
+            x.fill_random(7, -1.0, 1.0);
+            gs.insert("x", x);
+            let mut c = Grid::new(&shape);
+            c.fill_random(8, 0.5, 1.5);
+            gs.insert("c", c);
+            gs.insert("y", Grid::new(&shape));
+            let e = Expr::read_at("c", &[0, 0]) * Expr::read_at("x", &[0, 1]);
+            let s = Stencil::new(e, "y", RectDomain::interior(2));
+            run_one(&StencilGroup::from(s), &mut gs);
+            let (xg, cg) = (gs.get("x").unwrap().clone(), gs.get("c").unwrap().clone());
+            let y = gs.get("y").unwrap();
+            for j in 1..=n {
+                let want = cg.get(&[1, j]) * xg.get(&[1, j + 1]);
+                assert!((y.get(&[1, j]) - want).abs() < 1e-15, "n={n} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn three_d_kernel() {
+        let n = 6;
+        let mut gs = GridSet::new();
+        let x = Grid::from_fn(&[n, n, n], |p| (p[0] + 10 * p[1] + 100 * p[2]) as f64);
+        gs.insert("x", x.clone());
+        gs.insert("y", Grid::new(&[n, n, n]));
+        let e = Expr::read_at("x", &[1, 0, 0]) - Expr::read_at("x", &[-1, 0, 0]);
+        let s = Stencil::new(e, "y", RectDomain::interior(3));
+        run_one(&StencilGroup::from(s), &mut gs);
+        let y = gs.get("y").unwrap();
+        for i in 1..n - 1 {
+            for j in 1..n - 1 {
+                for k in 1..n - 1 {
+                    assert_eq!(y.get(&[i, j, k]), 2.0, "at ({i},{j},{k})");
+                }
+            }
+        }
+    }
+}

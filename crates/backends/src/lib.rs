@@ -1,0 +1,110 @@
+//! # snowflake-backends
+//!
+//! The micro-compiler backends of Snowflake (§IV of the paper).
+//!
+//! The paper's JIT hands a narrow, analyzed program description (see
+//! `snowflake-ir`) to small, interchangeable, platform-specific code
+//! generators. This crate provides five:
+//!
+//! | Backend | Paper counterpart | Notes |
+//! |---|---|---|
+//! | [`interp::InterpreterBackend`] | the Python reference backend | walks the expression tree per point; slow, canonical semantics |
+//! | [`seq::SequentialBackend`] | sequential C | bytecode kernels, single thread |
+//! | [`omp::OmpBackend`] | C + OpenMP | rayon task farm; greedy barrier phases, arbitrary-dimension tiling, multicolor reordering |
+//! | [`oclsim::OclSimBackend`] | C + OpenCL (execution model) | tall-skinny 2-D blocking rolled through the remaining dimension, work-groups executed on CPU threads |
+//! | [`cjit::CJitBackend`] | C + OpenMP via a real C compiler | emits C99 (see [`codegen_c`]), invokes the system `cc`, `dlopen`s the result — the paper's actual JIT pipeline |
+//!
+//! [`codegen_c`] and [`codegen_ocl`] emit C/OpenMP and OpenCL source from
+//! the lowered IR; `cjit` executes the former, while the latter documents
+//! the GPU path (no OpenCL runtime is assumed to exist).
+//!
+//! All backends implement [`Backend`] and produce [`Executable`]s; a
+//! [`CompileCache`] memoizes compilation per (group, shapes), mirroring the
+//! paper's cached callables.
+
+pub mod cache;
+pub mod cjit;
+pub mod codegen_c;
+pub mod codegen_cuda;
+pub mod codegen_ocl;
+pub mod dist;
+pub mod exec;
+pub mod interp;
+pub mod oclsim;
+pub mod omp;
+pub mod seq;
+pub mod view;
+
+use snowflake_core::{Result, ShapeMap, StencilGroup};
+use snowflake_grid::GridSet;
+
+pub use cache::CompileCache;
+pub use cjit::CJitBackend;
+pub use dist::DistBackend;
+pub use interp::InterpreterBackend;
+pub use oclsim::OclSimBackend;
+pub use omp::OmpBackend;
+pub use seq::SequentialBackend;
+
+/// A compiled stencil group, ready to run against a [`GridSet`].
+pub trait Executable: Send + Sync {
+    /// Execute one full pass of the group.
+    ///
+    /// The grid set must contain every grid the group references, with the
+    /// shapes the group was compiled for.
+    fn run(&self, grids: &mut GridSet) -> Result<()>;
+
+    /// Iteration points per run (for stencils/s reporting).
+    fn points_per_run(&self) -> u64;
+}
+
+/// A micro-compiler: turns a stencil group plus concrete shapes into an
+/// [`Executable`]. Mirrors the paper's `Stencil.compile()` /
+/// `StencilGroup.compile()` returning a callable.
+pub trait Backend: Send + Sync {
+    /// Human-readable backend name ("omp", "oclsim", …).
+    fn name(&self) -> &'static str;
+
+    /// Compile the group for the given shapes.
+    fn compile(&self, group: &StencilGroup, shapes: &ShapeMap) -> Result<Box<dyn Executable>>;
+}
+
+/// Convenience: compile a group against the shapes of an existing grid set
+/// and run it once.
+pub fn compile_and_run(
+    backend: &dyn Backend,
+    group: &StencilGroup,
+    grids: &mut GridSet,
+) -> Result<()> {
+    let exe = backend.compile(group, &grids.shapes())?;
+    exe.run(grids)
+}
+
+/// Verify at run time that a grid set matches the shapes a group was
+/// lowered against; returns the dense pointer and length tables in lowered
+/// order.
+pub(crate) fn check_and_ptrs(
+    lowered: &snowflake_ir::Lowered,
+    grids: &mut GridSet,
+) -> Result<(Vec<*mut f64>, Vec<usize>)> {
+    let mut ptrs = Vec::with_capacity(lowered.grid_names.len());
+    let mut lens = Vec::with_capacity(lowered.grid_names.len());
+    for (name, shape) in lowered.grid_names.iter().zip(&lowered.grid_shapes) {
+        let g = grids
+            .get_mut(name)
+            .ok_or_else(|| snowflake_core::CoreError::UnknownGrid {
+                stencil: String::new(),
+                grid: name.clone(),
+            })?;
+        if g.shape() != shape.as_slice() {
+            return Err(snowflake_core::CoreError::Backend(format!(
+                "grid {name:?} has shape {:?} but group was compiled for {:?}",
+                g.shape(),
+                shape
+            )));
+        }
+        lens.push(g.len());
+        ptrs.push(g.as_mut_ptr());
+    }
+    Ok((ptrs, lens))
+}

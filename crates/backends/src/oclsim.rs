@@ -1,0 +1,226 @@
+//! The OpenCL-style backend (§IV-B), executed on CPU threads.
+//!
+//! The paper's OpenCL micro-compiler uses a **tall-skinny blocking**: the
+//! iteration space is cut into two-dimensional tiles over the fastest two
+//! dimensions, and each work-group "rolls" its tile upward through the
+//! remaining (outer) dimension(s). This backend reproduces exactly that
+//! decomposition — one task per work-group tile, each task marching
+//! through the outer dimension — so the *shape* of the GPU schedule (many
+//! small independent blocks, long strided walks per block) is observable
+//! on CPU hardware. The true OpenCL *source* for the same decomposition is
+//! emitted by [`crate::codegen_ocl`]; no GPU runtime is assumed to exist
+//! in this environment (see DESIGN.md, substitutions).
+
+use rayon::prelude::*;
+
+use snowflake_core::{Result, ShapeMap, StencilGroup};
+use snowflake_grid::{GridSet, Region};
+use snowflake_ir::{lower_group, tile_region, Lowered, LowerOptions};
+
+use crate::exec::{check_limits, run_kernel_region};
+use crate::view::GridPtrs;
+use crate::{check_and_ptrs, Backend, Executable};
+
+/// Work-group tile extents over the two fastest dimensions.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkGroupShape {
+    /// Points along the second-fastest dimension (the "tall" edge).
+    pub tall: i64,
+    /// Points along the fastest (unit-stride) dimension (the "skinny"
+    /// edge kept wide for coalescing — 64 work-items in the paper's
+    /// terms).
+    pub wide: i64,
+}
+
+impl Default for WorkGroupShape {
+    fn default() -> Self {
+        WorkGroupShape { tall: 4, wide: 64 }
+    }
+}
+
+/// OpenCL execution-model simulator backend.
+#[derive(Clone, Debug, Default)]
+pub struct OclSimBackend {
+    /// Lowering options.
+    pub options: LowerOptions,
+    /// Work-group tile shape.
+    pub workgroup: WorkGroupShape,
+}
+
+impl OclSimBackend {
+    /// Backend with default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the work-group tile shape.
+    pub fn with_workgroup(mut self, tall: i64, wide: i64) -> Self {
+        self.workgroup = WorkGroupShape { tall, wide };
+        self
+    }
+}
+
+struct OclTask {
+    kernel: usize,
+    region: Region,
+}
+
+struct OclExecutable {
+    lowered: Lowered,
+    phases: Vec<Vec<OclTask>>,
+}
+
+impl Backend for OclSimBackend {
+    fn name(&self) -> &'static str {
+        "oclsim"
+    }
+
+    fn compile(&self, group: &StencilGroup, shapes: &ShapeMap) -> Result<Box<dyn Executable>> {
+        let lowered = lower_group(group, shapes, &self.options)?;
+        for k in &lowered.kernels {
+            check_limits(k)?;
+        }
+        let mut phases = Vec::with_capacity(lowered.phases.len());
+        for phase in &lowered.phases {
+            let mut tasks = Vec::new();
+            for &ki in phase {
+                let kernel = &lowered.kernels[ki];
+                if !kernel.parallel_safe {
+                    // The GPU model has no ordered fallback; serialize the
+                    // kernel as one task (a single "work-item", as a real
+                    // port would be forced to do).
+                    for region in &kernel.regions {
+                        tasks.push(OclTask {
+                            kernel: ki,
+                            region: region.clone(),
+                        });
+                    }
+                    continue;
+                }
+                for region in &kernel.regions {
+                    // Tall-skinny: tile the two fastest dims, keep outer
+                    // dims whole so the work-group rolls through them.
+                    let tile = tall_skinny_tile(kernel.ndim, self.workgroup);
+                    for t in tile_region(region, &tile) {
+                        tasks.push(OclTask { kernel: ki, region: t });
+                    }
+                }
+            }
+            phases.push(tasks);
+        }
+        Ok(Box::new(OclExecutable { lowered, phases }))
+    }
+}
+
+fn tall_skinny_tile(ndim: usize, wg: WorkGroupShape) -> Vec<i64> {
+    let mut tile = vec![i64::MAX >> 1; ndim];
+    match ndim {
+        0 => {}
+        1 => tile[0] = wg.wide,
+        _ => {
+            tile[ndim - 1] = wg.wide;
+            tile[ndim - 2] = wg.tall;
+        }
+    }
+    tile
+}
+
+impl Executable for OclExecutable {
+    fn run(&self, grids: &mut GridSet) -> Result<()> {
+        let (ptrs, lens) = check_and_ptrs(&self.lowered, grids)?;
+        let view = GridPtrs::new(&ptrs, &lens);
+        for phase in &self.phases {
+            // Every phase is one "kernel launch batch"; the join is the
+            // inter-launch dependency the OpenCL queue would enforce.
+            // SAFETY: see module docs; disjointness established statically.
+            phase.par_iter().for_each(|task| {
+                let kernel = &self.lowered.kernels[task.kernel];
+                unsafe { run_kernel_region(kernel, &view, &task.region) };
+            });
+        }
+        Ok(())
+    }
+
+    fn points_per_run(&self) -> u64 {
+        self.lowered.num_points()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SequentialBackend;
+    use snowflake_core::{weights3, Component, DomainUnion, Expr, RectDomain, Stencil};
+    use snowflake_grid::Grid;
+
+    #[test]
+    fn tall_skinny_tile_shapes() {
+        let wg = WorkGroupShape { tall: 4, wide: 64 };
+        assert_eq!(tall_skinny_tile(3, wg)[1..], [4, 64]);
+        assert_eq!(tall_skinny_tile(2, wg), vec![4, 64]);
+        assert_eq!(tall_skinny_tile(1, wg), vec![64]);
+        // Outer dim of 3-D is unbounded (rolled through).
+        assert!(tall_skinny_tile(3, wg)[0] > 1 << 40);
+    }
+
+    #[test]
+    fn oclsim_matches_seq_on_3d_laplacian() {
+        let n = 20;
+        let lap = Component::new(
+            "x",
+            weights3![
+                [[0, 0, 0], [0, 1, 0], [0, 0, 0]],
+                [[0, 1, 0], [1, -6, 1], [0, 1, 0]],
+                [[0, 0, 0], [0, 1, 0], [0, 0, 0]]
+            ],
+        );
+        let group = StencilGroup::from(Stencil::new(lap, "y", RectDomain::interior(3)));
+        let mut a = GridSet::new();
+        let mut x = Grid::new(&[n, n, n]);
+        x.fill_random(11, -1.0, 1.0);
+        a.insert("x", x);
+        a.insert("y", Grid::new(&[n, n, n]));
+        let mut b = a.clone();
+        let shapes = a.shapes();
+        SequentialBackend::new()
+            .compile(&group, &shapes)
+            .unwrap()
+            .run(&mut a)
+            .unwrap();
+        OclSimBackend::new()
+            .with_workgroup(2, 8)
+            .compile(&group, &shapes)
+            .unwrap()
+            .run(&mut b)
+            .unwrap();
+        assert_eq!(a.get("y").unwrap().max_abs_diff(b.get("y").unwrap()), 0.0);
+    }
+
+    #[test]
+    fn oclsim_red_black_in_place() {
+        let n = 12;
+        let avg = Expr::read_at("x", &[0, 1]) * 0.5 + Expr::read_at("x", &[0, -1]) * 0.5;
+        let (red, black) = DomainUnion::red_black(2);
+        let group = StencilGroup::new()
+            .with(Stencil::new(avg.clone(), "x", red))
+            .with(Stencil::new(avg, "x", black));
+        let mut a = GridSet::new();
+        let mut x = Grid::new(&[n, n]);
+        x.fill_random(2, 0.0, 1.0);
+        a.insert("x", x);
+        let mut b = a.clone();
+        let shapes = a.shapes();
+        SequentialBackend::new()
+            .compile(&group, &shapes)
+            .unwrap()
+            .run(&mut a)
+            .unwrap();
+        OclSimBackend::new()
+            .with_workgroup(3, 5)
+            .compile(&group, &shapes)
+            .unwrap()
+            .run(&mut b)
+            .unwrap();
+        assert_eq!(a.get("x").unwrap().max_abs_diff(b.get("x").unwrap()), 0.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Criterion mirror of Figure 7 (E2): the three standalone operators on
+//! each implementation, at a CI-friendly 32³.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use roofline::StencilKind;
+use snowflake_bench::{KernelBench, Who};
+
+fn fig7(c: &mut Criterion) {
+    let n = 32usize;
+    let mut g = c.benchmark_group("fig7_stencils");
+    g.sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    g.throughput(Throughput::Elements((n * n * n) as u64));
+    for kind in StencilKind::all() {
+        for who in Who::figure_set() {
+            let Ok(mut kb) = KernelBench::build(kind, who, n) else {
+                continue;
+            };
+            g.bench_function(
+                BenchmarkId::new(kind.label().replace(' ', "_"), who.label()),
+                |b| b.iter(|| kb.sweep()),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig7);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion mirror of Figure 8 (E3): VC GSRB smoother across problem
+//! sizes (the multigrid-critical scaling behaviour).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use roofline::StencilKind;
+use snowflake_bench::{KernelBench, Who};
+
+fn fig8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_vc_gsrb_scaling");
+    g.sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    for n in [8usize, 16, 32] {
+        g.throughput(Throughput::Elements((n * n * n) as u64));
+        for who in [Who::Hand, Who::SnowOmp, Who::SnowOcl] {
+            let Ok(mut kb) = KernelBench::build(StencilKind::VcGsrb, who, n) else {
+                continue;
+            };
+            g.bench_function(BenchmarkId::new(who.label(), format!("{n}^3")), |b| {
+                b.iter(|| kb.sweep())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig8);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion mirror of Figure 9 (E4): one full V-cycle of the GMG solver,
+//! hand-optimized vs Snowflake backends, at a CI-friendly 16³.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hpgmg::{HandSolver, Problem, SnowSolver};
+use snowflake_bench::Who;
+
+fn fig9(c: &mut Criterion) {
+    let n = 16usize;
+    let problem = Problem::poisson_vc(n);
+    let mut g = c.benchmark_group("fig9_gmg_vcycle");
+    g.sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(3));
+    g.throughput(Throughput::Elements((n * n * n) as u64));
+
+    let mut hand = HandSolver::new(problem);
+    g.bench_function(BenchmarkId::new("vcycle", Who::Hand.label()), |b| {
+        b.iter(|| hand.vcycle(0))
+    });
+
+    for who in [Who::SnowSeq, Who::SnowOmp, Who::SnowOcl, Who::SnowCjit] {
+        let Some(backend) = who.backend() else { continue };
+        let Ok(mut solver) = SnowSolver::new(problem, backend) else {
+            continue;
+        };
+        g.bench_function(BenchmarkId::new("vcycle", who.label()), |b| {
+            b.iter(|| solver.vcycle(0).expect("vcycle"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, fig9);
+criterion_main!(benches);

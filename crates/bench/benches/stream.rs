@@ -1,0 +1,27 @@
+//! Criterion mirror of Figure 6 (E1): the modified-STREAM dot kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use roofline::stream::{dot_pass, dot_pass_seq};
+
+fn stream(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stream_dot");
+    g.sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    for shift in [16usize, 20] {
+        let n = 1usize << shift;
+        let a: Vec<f64> = (0..n).map(|i| (i % 7) as f64).collect();
+        let b: Vec<f64> = (0..n).map(|i| (i % 5) as f64).collect();
+        g.throughput(Throughput::Bytes((2 * n * 8) as u64));
+        g.bench_function(BenchmarkId::new("parallel", format!("2^{shift}")), |bch| {
+            bch.iter(|| dot_pass(&a, &b))
+        });
+        g.bench_function(BenchmarkId::new("sequential", format!("2^{shift}")), |bch| {
+            bch.iter(|| dot_pass_seq(&a, &b))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, stream);
+criterion_main!(benches);

@@ -1,0 +1,289 @@
+//! # snowflake-bench
+//!
+//! The benchmark harness that regenerates every evaluation artifact of the
+//! Snowflake paper (see DESIGN.md's per-experiment index):
+//!
+//! * `--bin stream`  — Figure 6: modified-STREAM dot bandwidth + the §V-B
+//!   Roofline bounds (E1, E5).
+//! * `--bin figure7` — Figure 7: stencils/s for CC 7-pt, CC Jacobi and VC
+//!   GSRB at a fixed size: hand-optimized baseline vs Snowflake backends
+//!   vs Roofline (E2).
+//! * `--bin figure8` — Figure 8: VC GSRB smoother time across problem
+//!   sizes (E3).
+//! * `--bin figure9` — Figure 9: full GMG solver DOF/s, hand vs Snowflake
+//!   (E4).
+//!
+//! Criterion benches mirror the binaries at CI-friendly sizes and add the
+//! §IV-A ablations (tiling, multicolor reordering, analysis cost).
+//!
+//! This library holds the shared kernels-under-test so binaries and
+//! benches measure exactly the same code.
+
+use std::time::Instant;
+
+use snowflake_backends::{Backend, CJitBackend, Executable, OclSimBackend, OmpBackend, SequentialBackend};
+use snowflake_core::Result;
+use snowflake_grid::GridSet;
+use hpgmg::problem::{LevelData, Problem};
+use hpgmg::stencils::{apply_op_group, gsrb_smooth_group, jacobi_group, Coeff, Names};
+use roofline::StencilKind;
+
+/// Best-of-`reps` wall time of `f`, after one untimed warm-up call (the
+/// paper's protocol).
+pub fn time_best(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// The implementations a figure compares.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Who {
+    /// Hand-optimized baseline (the "HPGMG" bars).
+    Hand,
+    /// Snowflake on the rayon OpenMP-like backend.
+    SnowOmp,
+    /// Snowflake on the OpenCL-execution-model simulator.
+    SnowOcl,
+    /// Snowflake on the sequential compiled backend.
+    SnowSeq,
+    /// Snowflake through the C JIT (emit C → cc → dlopen).
+    SnowCjit,
+}
+
+impl Who {
+    /// Column label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Who::Hand => "HPGMG(hand)",
+            Who::SnowOmp => "Snowflake/omp",
+            Who::SnowOcl => "Snowflake/oclsim",
+            Who::SnowSeq => "Snowflake/seq",
+            Who::SnowCjit => "Snowflake/cjit",
+        }
+    }
+
+    /// Construct the backend for Snowflake variants.
+    pub fn backend(&self) -> Option<Box<dyn Backend>> {
+        match self {
+            Who::Hand => None,
+            Who::SnowOmp => Some(Box::new(OmpBackend::new())),
+            Who::SnowOcl => Some(Box::new(OclSimBackend::new())),
+            Who::SnowSeq => Some(Box::new(SequentialBackend::new())),
+            Who::SnowCjit => Some(Box::new(CJitBackend::new())),
+        }
+    }
+
+    /// The default comparison set for figures (cjit included only when a C
+    /// compiler exists).
+    pub fn figure_set() -> Vec<Who> {
+        let mut v = vec![Who::Hand, Who::SnowOmp, Who::SnowOcl];
+        if CJitBackend::available() {
+            v.push(Who::SnowCjit);
+        }
+        v
+    }
+}
+
+/// A standalone-kernel benchmark instance (Figure 7/8 rows): one operator
+/// on one implementation at one size.
+pub struct KernelBench {
+    /// Interior points updated per sweep (stencil applications).
+    pub stencils_per_sweep: u64,
+    runner: KernelRunner,
+}
+
+#[allow(clippy::large_enum_variant)]
+enum KernelRunner {
+    Hand {
+        lvl: LevelData,
+        problem: Problem,
+        kind: StencilKind,
+    },
+    Snow {
+        grids: GridSet,
+        exe: Box<dyn Executable>,
+    },
+}
+
+impl KernelBench {
+    /// Build the kernel-under-test.
+    ///
+    /// `kind` selects the operator (Figure 7's three), `who` the
+    /// implementation, `n` the interior size (the paper uses 256).
+    pub fn build(kind: StencilKind, who: Who, n: usize) -> Result<KernelBench> {
+        let problem = match kind {
+            StencilKind::VcGsrb => Problem::poisson_vc(n),
+            _ => Problem::poisson_cc(n),
+        };
+        let stencils_per_sweep = (n * n * n) as u64;
+        match who.backend() {
+            None => {
+                let mut lvl = LevelData::build(&problem, n);
+                lvl.x.fill_random(17, -1.0, 1.0);
+                lvl.rhs.fill_random(18, -1.0, 1.0);
+                Ok(KernelBench {
+                    stencils_per_sweep,
+                    runner: KernelRunner::Hand { lvl, problem, kind },
+                })
+            }
+            Some(backend) => {
+                let names = Names::level(0);
+                let coeff = if problem.variable_coeff {
+                    Coeff::Variable
+                } else {
+                    Coeff::Constant
+                };
+                let h2inv = (n * n) as f64;
+                let group = match kind {
+                    StencilKind::Cc7pt => {
+                        apply_op_group(&names, &names.res, coeff, problem.a, problem.b, h2inv)
+                    }
+                    StencilKind::CcJacobi => {
+                        jacobi_group(&names, coeff, problem.a, problem.b, h2inv)
+                    }
+                    StencilKind::VcGsrb => {
+                        gsrb_smooth_group(&names, coeff, problem.a, problem.b, h2inv)
+                    }
+                };
+                let mut lvl = LevelData::build(&problem, n);
+                lvl.x.fill_random(17, -1.0, 1.0);
+                lvl.rhs.fill_random(18, -1.0, 1.0);
+                let mut grids = GridSet::new();
+                grids.insert(&names.x, lvl.x);
+                grids.insert(&names.rhs, lvl.rhs);
+                grids.insert(&names.res, lvl.res);
+                grids.insert(&names.dinv, lvl.dinv);
+                grids.insert(&names.alpha, lvl.alpha);
+                grids.insert(&names.beta_x, lvl.beta_x);
+                grids.insert(&names.beta_y, lvl.beta_y);
+                grids.insert(&names.beta_z, lvl.beta_z);
+                let exe = backend.compile(&group, &grids.shapes())?;
+                Ok(KernelBench {
+                    stencils_per_sweep,
+                    runner: KernelRunner::Snow { grids, exe },
+                })
+            }
+        }
+    }
+
+    /// Execute one sweep of the operator.
+    pub fn sweep(&mut self) {
+        match &mut self.runner {
+            KernelRunner::Hand { lvl, problem, kind } => match kind {
+                StencilKind::Cc7pt => {
+                    hpgmg::hand::apply_boundary(&mut lvl.x, lvl.n);
+                    // Move res out so it can be written while lvl is read.
+                    let mut res =
+                        std::mem::replace(&mut lvl.res, snowflake_grid::Grid::new(&[1]));
+                    hpgmg::hand::apply_op(&mut res, &lvl.x, lvl, problem.a, problem.b);
+                    lvl.res = res;
+                }
+                StencilKind::CcJacobi => hpgmg::hand::smooth_jacobi(lvl, problem.a, problem.b),
+                StencilKind::VcGsrb => hpgmg::hand::smooth_gsrb(lvl, problem.a, problem.b),
+            },
+            KernelRunner::Snow { grids, exe } => {
+                exe.run(grids).expect("compiled kernel run");
+            }
+        }
+    }
+
+    /// Measure stencils/second (best of `reps` sweeps after warm-up).
+    pub fn stencils_per_sec(&mut self, reps: usize) -> f64 {
+        // `time_best` needs a closure capturing self mutably.
+        self.sweep();
+        let mut best = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let t0 = Instant::now();
+            self.sweep();
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        self.stencils_per_sweep as f64 / best
+    }
+
+    /// Measure seconds per sweep (Figure 8 presentation).
+    pub fn seconds_per_sweep(&mut self, reps: usize) -> f64 {
+        self.stencils_per_sweep as f64 / self.stencils_per_sec(reps)
+    }
+}
+
+/// Fixed-width table printing used by the figure binaries.
+pub fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let ncol = header.len();
+    let mut width = vec![0usize; ncol];
+    for (c, h) in header.iter().enumerate() {
+        width[c] = h.len();
+    }
+    for row in rows {
+        for (c, cell) in row.iter().enumerate() {
+            width[c] = width[c].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(c, s)| format!("{:>w$}", s, w = width[c]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(header));
+    println!("{}", "-".repeat(width.iter().sum::<usize>() + 2 * (ncol - 1)));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Parse `--flag value` style arguments (tiny, dependency-free).
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Parse a usize flag with default.
+pub fn arg_usize(args: &[String], flag: &str, default: usize) -> usize {
+    arg_value(args, flag)
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("bad value for {flag}")))
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_bench_builds_and_sweeps_all_kinds() {
+        for kind in StencilKind::all() {
+            for who in [Who::Hand, Who::SnowSeq] {
+                let mut kb = KernelBench::build(kind, who, 8).unwrap();
+                kb.sweep();
+                assert_eq!(kb.stencils_per_sweep, 512);
+            }
+        }
+    }
+
+    #[test]
+    fn rates_are_positive() {
+        let mut kb = KernelBench::build(StencilKind::Cc7pt, Who::SnowOmp, 8).unwrap();
+        assert!(kb.stencils_per_sec(2) > 0.0);
+        assert!(kb.seconds_per_sweep(2) > 0.0);
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> = ["--size", "64", "--reps", "5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(arg_usize(&args, "--size", 32), 64);
+        assert_eq!(arg_usize(&args, "--reps", 3), 5);
+        assert_eq!(arg_usize(&args, "--missing", 9), 9);
+    }
+}

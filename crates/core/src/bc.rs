@@ -1,0 +1,174 @@
+//! Boundary conditions as stencils (§II, point 3).
+//!
+//! "Boundary Conditions are restrictions on boundary values or values just
+//! outside of the boundary … these are also expressed as stencils with
+//! (sometimes) large offsets, or as asymmetric stencils." This module
+//! packages the common cases so applications stop hand-rolling face
+//! stencils:
+//!
+//! * [`dirichlet_faces`] — homogeneous Dirichlet via ghost negation
+//!   (`ghost = −inside`), the HPGMG convention.
+//! * [`neumann_faces`] — zero-flux via ghost reflection (`ghost = inside`).
+//! * [`periodic_faces`] — wrap-around ghosts, the "large offsets" case:
+//!   the ghost plane copies the *opposite* interior plane, an offset of
+//!   `±(n−2)` cells that only a finite-domain analysis can prove harmless.
+//!
+//! Dirichlet and Neumann faces are size-generic (relative domains);
+//! periodic faces bake the wrap offset, so they are built per shape — the
+//! same per-size JIT story as the paper.
+
+use crate::expr::Expr;
+use crate::stencil::Stencil;
+use crate::domain::RectDomain;
+
+/// One face stencil for dimension `d`: domain pinned at `pin`
+/// (0 or −1), remaining dimensions covering `1..n-1`.
+fn face_domain(ndim: usize, d: usize, pin: i64) -> RectDomain {
+    let mut lo = vec![1i64; ndim];
+    let mut hi = vec![-1i64; ndim];
+    let mut stride = vec![1i64; ndim];
+    lo[d] = pin;
+    hi[d] = pin;
+    stride[d] = 0;
+    RectDomain::new(&lo, &hi, &stride)
+}
+
+fn face_name(grid: &str, kind: &str, d: usize, low: bool) -> String {
+    format!(
+        "{kind}_{grid}_d{d}{}",
+        if low { "lo" } else { "hi" }
+    )
+}
+
+/// The `2·ndim` homogeneous-Dirichlet ghost stencils: `ghost = −inside`.
+pub fn dirichlet_faces(grid: &str, ndim: usize) -> Vec<Stencil> {
+    let mut out = Vec::with_capacity(2 * ndim);
+    for d in 0..ndim {
+        for (pin, inward) in [(0i64, 1i64), (-1, -1)] {
+            let mut off = vec![0i64; ndim];
+            off[d] = inward;
+            out.push(
+                Stencil::new(
+                    Expr::Neg(Box::new(Expr::read_at(grid, &off))),
+                    grid,
+                    face_domain(ndim, d, pin),
+                )
+                .named(&face_name(grid, "dirichlet", d, pin == 0)),
+            );
+        }
+    }
+    out
+}
+
+/// The `2·ndim` zero-flux (homogeneous Neumann) ghost stencils:
+/// `ghost = inside` (reflection).
+pub fn neumann_faces(grid: &str, ndim: usize) -> Vec<Stencil> {
+    let mut out = Vec::with_capacity(2 * ndim);
+    for d in 0..ndim {
+        for (pin, inward) in [(0i64, 1i64), (-1, -1)] {
+            let mut off = vec![0i64; ndim];
+            off[d] = inward;
+            out.push(
+                Stencil::new(Expr::read_at(grid, &off), grid, face_domain(ndim, d, pin))
+                    .named(&face_name(grid, "neumann", d, pin == 0)),
+            );
+        }
+    }
+    out
+}
+
+/// The `2·ndim` periodic ghost stencils for a grid of concrete `shape`
+/// (ghost shells included): the low ghost plane copies the high interior
+/// plane and vice versa — reads at offsets `±(n_d − 2)`, the paper's
+/// "large offsets".
+pub fn periodic_faces(grid: &str, shape: &[usize]) -> Vec<Stencil> {
+    let ndim = shape.len();
+    let mut out = Vec::with_capacity(2 * ndim);
+    for d in 0..ndim {
+        let n = shape[d] as i64;
+        // ghost row 0 := interior row n-2 (offset +(n-2));
+        // ghost row n-1 := interior row 1 (offset −(n-2)).
+        for (pin, wrap) in [(0i64, n - 2), (-1, -(n - 2))] {
+            let mut off = vec![0i64; ndim];
+            off[d] = wrap;
+            out.push(
+                Stencil::new(Expr::read_at(grid, &off), grid, face_domain(ndim, d, pin))
+                    .named(&face_name(grid, "periodic", d, pin == 0)),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ShapeMap;
+
+    fn shapes(n: usize, ndim: usize) -> ShapeMap {
+        let mut m = ShapeMap::new();
+        m.insert("x".into(), vec![n; ndim]);
+        m
+    }
+
+    #[test]
+    fn dirichlet_faces_validate_in_2d_and_3d() {
+        for ndim in [2usize, 3] {
+            let faces = dirichlet_faces("x", ndim);
+            assert_eq!(faces.len(), 2 * ndim);
+            let m = shapes(9, ndim);
+            for f in &faces {
+                assert!(f.validate(&m).is_ok(), "{:?}", f.validate(&m));
+                assert!(f.is_in_place());
+            }
+        }
+    }
+
+    #[test]
+    fn neumann_faces_reflect() {
+        // Semantics check: ghost = inside.
+        let faces = neumann_faces("x", 1);
+        let lo = &faces[0];
+        let v = lo
+            .expr()
+            .eval(&[0], &mut |_, idx| idx[0] as f64 * 10.0);
+        assert_eq!(v, 10.0, "ghost 0 copies interior 1");
+    }
+
+    #[test]
+    fn periodic_faces_use_large_offsets() {
+        let faces = periodic_faces("x", &[10, 10]);
+        assert_eq!(faces.len(), 4);
+        // The d0-low face reads offset +8 — a "large offset" stencil.
+        let reads = faces[0].expr().reads();
+        assert_eq!(reads.len(), 1);
+        assert_eq!(reads[0].1.offset, vec![8, 0]);
+        let m = shapes(10, 2);
+        for f in &faces {
+            assert!(f.validate(&m).is_ok(), "{:?}", f.validate(&m));
+        }
+    }
+
+    #[test]
+    fn periodic_wrap_semantics() {
+        // ghost row 0 of a 1-D grid with n=6 copies row 4 (last interior).
+        let faces = periodic_faces("x", &[6]);
+        let lo = &faces[0];
+        let v = lo.expr().eval(&[0], &mut |_, idx| idx[0] as f64);
+        assert_eq!(v, 4.0);
+        let hi = &faces[1];
+        let v = hi.expr().eval(&[5], &mut |_, idx| idx[0] as f64);
+        assert_eq!(v, 1.0, "ghost n-1 copies the first interior row");
+    }
+
+    #[test]
+    fn periodic_offsets_scale_with_grid_size() {
+        for n in [6usize, 18, 66] {
+            let faces = periodic_faces("x", &[n]);
+            let reads = faces[0].expr().reads();
+            assert_eq!(reads[0].1.offset, vec![(n - 2) as i64]);
+            let m = shapes(n, 1);
+            assert!(faces.iter().all(|f| f.validate(&m).is_ok()));
+        }
+    }
+}

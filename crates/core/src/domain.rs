@@ -1,0 +1,421 @@
+//! Iteration domains: strided hyper-rectangles and unions thereof.
+//!
+//! A [`RectDomain`] specifies a start, end and stride per dimension.
+//! Negative bounds are *relative to the grid size* (`-1` means `n - 1`),
+//! which lets interior/boundary definitions be reused across grid sizes —
+//! the paper's headline convenience. A stride of `0` pins the dimension to
+//! the single index `start` (used by face/boundary stencils, e.g. the
+//! Figure 4 top boundary `RectangularDomain((1,-1), (-1,-1), (1,0))`).
+//!
+//! Resolution against a concrete shape yields [`Region`]s from
+//! `snowflake-grid`.
+
+use std::ops::Add;
+
+use snowflake_grid::Region;
+
+use crate::error::CoreError;
+use crate::Result;
+
+/// A start/end/stride hyper-rectangle with grid-size-relative bounds.
+///
+/// ```
+/// use snowflake_core::RectDomain;
+///
+/// // Interior of any grid: [1, n-1) per dimension.
+/// let interior = RectDomain::interior(2);
+/// let region = interior.resolve(&[10, 8]).unwrap();
+/// assert_eq!(region.num_points(), 8 * 6);
+///
+/// // Red checkerboard points via stride 2, plus a union for the other
+/// // phase, exactly as the paper's Figure 4 builds colors:
+/// let red = RectDomain::new(&[1, 1], &[-1, -1], &[2, 2])
+///     + RectDomain::new(&[2, 2], &[-1, -1], &[2, 2]);
+/// assert_eq!(red.rects().len(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RectDomain {
+    lo: Vec<i64>,
+    hi: Vec<i64>,
+    stride: Vec<i64>,
+}
+
+impl RectDomain {
+    /// Construct a domain. Bounds `< 0` resolve to `n + bound`; strides must
+    /// be `>= 0` with `0` meaning "pinned at `lo`".
+    ///
+    /// # Panics
+    /// Panics on rank mismatch or negative stride (these are programming
+    /// errors in the DSL program, like a Python `TypeError`).
+    pub fn new(lo: &[i64], hi: &[i64], stride: &[i64]) -> Self {
+        assert!(
+            lo.len() == hi.len() && hi.len() == stride.len(),
+            "RectDomain rank mismatch: lo={lo:?} hi={hi:?} stride={stride:?}"
+        );
+        assert!(
+            stride.iter().all(|&s| s >= 0),
+            "RectDomain strides must be >= 0, got {stride:?}"
+        );
+        RectDomain {
+            lo: lo.to_vec(),
+            hi: hi.to_vec(),
+            stride: stride.to_vec(),
+        }
+    }
+
+    /// The full index space `[0, n)` with unit stride in `ndim` dimensions
+    /// (upper bound `0` resolves to `n`).
+    pub fn all(ndim: usize) -> Self {
+        RectDomain::new(&vec![0; ndim], &vec![0; ndim], &vec![1; ndim])
+    }
+
+    /// The interior `[1, n-1)` with unit stride — the classic halo-1
+    /// iteration space.
+    pub fn interior(ndim: usize) -> Self {
+        RectDomain::new(&vec![1; ndim], &vec![-1; ndim], &vec![1; ndim])
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Raw lower bounds (possibly relative).
+    pub fn lo(&self) -> &[i64] {
+        &self.lo
+    }
+
+    /// Raw upper bounds (possibly relative).
+    pub fn hi(&self) -> &[i64] {
+        &self.hi
+    }
+
+    /// Raw strides (`0` = pinned).
+    pub fn stride(&self) -> &[i64] {
+        &self.stride
+    }
+
+    /// Resolve against a concrete shape.
+    ///
+    /// Per dimension: `lo < 0` becomes `n + lo`, `hi <= 0` becomes `n + hi`
+    /// (so `-1` is "one before the end" and `0` is "the end"), stride `0`
+    /// becomes the single resolved index `lo`. Errors if the resolved
+    /// bounds escape `[0, n]`.
+    #[allow(clippy::needless_range_loop)] // d indexes several parallel arrays
+    pub fn resolve(&self, shape: &[usize]) -> Result<Region> {
+        if shape.len() != self.ndim() {
+            return Err(CoreError::DimMismatch {
+                context: "RectDomain::resolve".into(),
+                expected: self.ndim(),
+                got: shape.len(),
+            });
+        }
+        let mut lo = Vec::with_capacity(self.ndim());
+        let mut hi = Vec::with_capacity(self.ndim());
+        let mut stride = Vec::with_capacity(self.ndim());
+        for d in 0..self.ndim() {
+            let n = shape[d] as i64;
+            let l = if self.lo[d] < 0 {
+                n + self.lo[d]
+            } else {
+                self.lo[d]
+            };
+            let (h, s) = if self.stride[d] == 0 {
+                (l + 1, 1)
+            } else {
+                let h = if self.hi[d] <= 0 {
+                    n + self.hi[d]
+                } else {
+                    self.hi[d]
+                };
+                (h, self.stride[d])
+            };
+            if l < 0 || h > n {
+                return Err(CoreError::DomainOutOfBounds {
+                    stencil: String::new(),
+                    detail: format!(
+                        "dim {d}: resolved range [{l}, {h}) outside grid extent {n}"
+                    ),
+                });
+            }
+            lo.push(l);
+            hi.push(h.max(l));
+            stride.push(s);
+        }
+        Ok(Region::new(lo, hi, stride))
+    }
+}
+
+/// A union of [`RectDomain`]s, built with `+` as in the paper:
+/// `red = RectDomain(...) + RectDomain(...)`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct DomainUnion {
+    rects: Vec<RectDomain>,
+}
+
+impl DomainUnion {
+    /// Union of the given rectangles.
+    pub fn new(rects: Vec<RectDomain>) -> Self {
+        assert!(!rects.is_empty(), "DomainUnion needs at least one rect");
+        let nd = rects[0].ndim();
+        assert!(
+            rects.iter().all(|r| r.ndim() == nd),
+            "DomainUnion rank mismatch"
+        );
+        DomainUnion { rects }
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.rects[0].ndim()
+    }
+
+    /// The member rectangles.
+    pub fn rects(&self) -> &[RectDomain] {
+        &self.rects
+    }
+
+    /// Resolve every member against a concrete shape.
+    pub fn resolve(&self, shape: &[usize]) -> Result<Vec<Region>> {
+        self.rects.iter().map(|r| r.resolve(shape)).collect()
+    }
+
+    /// The general `k`-per-dimension block coloring of the interior
+    /// (Figure 3b's 4-color tiling is `multicolor(2, 2)`): the interior is
+    /// cut into `k^ndim` color classes, class `c` containing the points
+    /// whose per-dimension phase `(p_d − 1) mod k` matches `c`'s digits in
+    /// base `k`. Points of one color are `k` apart in every dimension, so
+    /// any stencil with reach `< k` may update a whole color in parallel —
+    /// the paper's "all points of the same color … can be updated
+    /// simultaneously".
+    ///
+    /// Each color is a single strided rectangle; colors partition the
+    /// interior exactly.
+    pub fn multicolor(ndim: usize, k: usize) -> Vec<DomainUnion> {
+        assert!(k >= 1, "need at least one color per dimension");
+        let ncolors = k.pow(ndim as u32);
+        let mut out = Vec::with_capacity(ncolors);
+        for c in 0..ncolors {
+            let mut lo = Vec::with_capacity(ndim);
+            let mut digits = c;
+            for _ in 0..ndim {
+                lo.push(1 + (digits % k) as i64);
+                digits /= k;
+            }
+            out.push(DomainUnion::from(RectDomain::new(
+                &lo,
+                &vec![-1; ndim],
+                &vec![k as i64; ndim],
+            )));
+        }
+        out
+    }
+
+    /// The red/black checkerboard decomposition of the interior `[1, n-1)`
+    /// in `ndim` dimensions: returns `(red, black)` where red contains the
+    /// point `(1,1,…,1)`, matching HPGMG's parity convention.
+    ///
+    /// Each color is a union of `2^(ndim-1)` strided rectangles.
+    pub fn red_black(ndim: usize) -> (DomainUnion, DomainUnion) {
+        let mut red = Vec::new();
+        let mut black = Vec::new();
+        // Enumerate all 2^ndim per-dimension phase choices in {1, 2}.
+        for mask in 0..(1u32 << ndim) {
+            let mut lo = Vec::with_capacity(ndim);
+            let mut parity = 0u32;
+            for d in 0..ndim {
+                if mask & (1 << d) != 0 {
+                    lo.push(2);
+                    parity ^= 1;
+                } else {
+                    lo.push(1);
+                }
+            }
+            let rect = RectDomain::new(&lo, &vec![-1; ndim], &vec![2; ndim]);
+            if parity == 0 {
+                red.push(rect);
+            } else {
+                black.push(rect);
+            }
+        }
+        (DomainUnion::new(red), DomainUnion::new(black))
+    }
+}
+
+impl From<RectDomain> for DomainUnion {
+    fn from(r: RectDomain) -> Self {
+        DomainUnion { rects: vec![r] }
+    }
+}
+
+impl Add for RectDomain {
+    type Output = DomainUnion;
+    fn add(self, rhs: RectDomain) -> DomainUnion {
+        DomainUnion::new(vec![self, rhs])
+    }
+}
+
+impl Add<RectDomain> for DomainUnion {
+    type Output = DomainUnion;
+    fn add(mut self, rhs: RectDomain) -> DomainUnion {
+        assert_eq!(self.ndim(), rhs.ndim(), "DomainUnion rank mismatch");
+        self.rects.push(rhs);
+        self
+    }
+}
+
+impl Add for DomainUnion {
+    type Output = DomainUnion;
+    fn add(mut self, rhs: DomainUnion) -> DomainUnion {
+        assert_eq!(self.ndim(), rhs.ndim(), "DomainUnion rank mismatch");
+        self.rects.extend(rhs.rects);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interior_resolves_relative_bounds() {
+        let d = RectDomain::interior(2);
+        let r = d.resolve(&[10, 8]).unwrap();
+        assert_eq!(r.lo, vec![1, 1]);
+        assert_eq!(r.hi, vec![9, 7]);
+        assert_eq!(r.stride, vec![1, 1]);
+    }
+
+    #[test]
+    fn all_covers_whole_grid() {
+        let d = RectDomain::all(3);
+        let r = d.resolve(&[4, 5, 6]).unwrap();
+        assert_eq!(r.num_points(), 120);
+    }
+
+    #[test]
+    fn pinned_stride_zero_selects_single_plane() {
+        // Figure 4 top boundary: rows 1..n-1, column fixed at n-1.
+        let d = RectDomain::new(&[1, -1], &[-1, -1], &[1, 0]);
+        let r = d.resolve(&[6, 6]).unwrap();
+        assert_eq!(r.extent(0), 4);
+        assert_eq!(r.extent(1), 1);
+        assert!(r.contains(&[3, 5]));
+        assert!(!r.contains(&[3, 4]));
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let d = RectDomain::new(&[0], &[10], &[1]);
+        assert!(d.resolve(&[5]).is_err());
+        let d = RectDomain::new(&[-7], &[0], &[1]);
+        assert!(d.resolve(&[5]).is_err());
+    }
+
+    #[test]
+    fn empty_after_resolution_is_ok() {
+        let d = RectDomain::new(&[3], &[3], &[1]);
+        let r = d.resolve(&[5]).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn union_by_plus() {
+        let u = RectDomain::new(&[1], &[-1], &[2]) + RectDomain::new(&[2], &[-1], &[2]);
+        assert_eq!(u.rects().len(), 2);
+        let u2 = u + RectDomain::new(&[0], &[1], &[1]);
+        assert_eq!(u2.rects().len(), 3);
+    }
+
+    #[test]
+    fn red_black_partitions_interior_2d() {
+        let (red, black) = DomainUnion::red_black(2);
+        let shape = [8usize, 9];
+        let reds = red.resolve(&shape).unwrap();
+        let blacks = black.resolve(&shape).unwrap();
+        let interior = RectDomain::interior(2).resolve(&shape).unwrap();
+
+        let mut count = 0u64;
+        for p in interior.points() {
+            let in_red = reds.iter().filter(|r| r.contains(&p)).count();
+            let in_black = blacks.iter().filter(|r| r.contains(&p)).count();
+            assert_eq!(
+                in_red + in_black,
+                1,
+                "point {p:?} must be in exactly one color"
+            );
+            // HPGMG parity convention: (i+j) even => red given (1,1) is red.
+            let parity = (p[0] + p[1]) % 2;
+            if parity == 0 {
+                assert_eq!(in_red, 1, "{p:?} should be red");
+            } else {
+                assert_eq!(in_black, 1, "{p:?} should be black");
+            }
+            count += 1;
+        }
+        assert_eq!(count, interior.num_points());
+    }
+
+    #[test]
+    fn red_black_partitions_interior_3d() {
+        let (red, black) = DomainUnion::red_black(3);
+        assert_eq!(red.rects().len(), 4);
+        assert_eq!(black.rects().len(), 4);
+        let shape = [6usize, 7, 6];
+        let reds = red.resolve(&shape).unwrap();
+        let blacks = black.resolve(&shape).unwrap();
+        let interior = RectDomain::interior(3).resolve(&shape).unwrap();
+        for p in interior.points() {
+            let in_red = reds.iter().any(|r| r.contains(&p));
+            let in_black = blacks.iter().any(|r| r.contains(&p));
+            assert!(in_red ^ in_black, "point {p:?} must have exactly one color");
+            assert_eq!(in_red, (p[0] + p[1] + p[2]) % 2 == 1, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn four_color_tiling_partitions_interior() {
+        // Figure 3b: 2-D, 2 colors per dimension -> 4 classes.
+        let colors = DomainUnion::multicolor(2, 2);
+        assert_eq!(colors.len(), 4);
+        let shape = [9usize, 10];
+        let interior = RectDomain::interior(2).resolve(&shape).unwrap();
+        for p in interior.points() {
+            let owners = colors
+                .iter()
+                .filter(|c| c.resolve(&shape).unwrap().iter().any(|r| r.contains(&p)))
+                .count();
+            assert_eq!(owners, 1, "point {p:?} must have exactly one color");
+        }
+    }
+
+    #[test]
+    fn three_coloring_in_1d() {
+        let colors = DomainUnion::multicolor(1, 3);
+        assert_eq!(colors.len(), 3);
+        let shape = [11usize];
+        let mut counts = 0u64;
+        for c in &colors {
+            counts += c.resolve(&shape).unwrap()[0].num_points();
+        }
+        assert_eq!(counts, 9, "colors cover the interior exactly");
+    }
+
+    #[test]
+    fn multicolor_one_is_the_interior() {
+        let colors = DomainUnion::multicolor(3, 1);
+        assert_eq!(colors.len(), 1);
+        let r = &colors[0].resolve(&[6, 6, 6]).unwrap()[0];
+        assert_eq!(r.num_points(), 64);
+        assert_eq!(r.stride, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn resolve_rank_mismatch_errors() {
+        let d = RectDomain::interior(2);
+        assert!(matches!(
+            d.resolve(&[4]),
+            Err(CoreError::DimMismatch { .. })
+        ));
+    }
+}

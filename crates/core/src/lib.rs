@@ -1,0 +1,58 @@
+//! # snowflake-core
+//!
+//! The Snowflake stencil DSL, reimplemented in Rust.
+//!
+//! Snowflake (Zhang et al., IPDPSW 2017) is a stencil language whose
+//! organizing principle is that *everything* — interior sweeps, boundary
+//! conditions, red/black colorings, restriction and interpolation — is the
+//! application of a stencil expression over a union of strided
+//! hyper-rectangular domains. This crate implements the language layer
+//! (Table I of the paper):
+//!
+//! | Paper element | Rust type |
+//! |---|---|
+//! | `WeightArray` | [`WeightArray`] |
+//! | `SparseArray` | [`SparseArray`] |
+//! | `Component` | [`Component`] |
+//! | `RectDomain` | [`RectDomain`] |
+//! | `DomainUnion` | [`DomainUnion`] |
+//! | `Stencil` | [`Stencil`] |
+//! | `StencilGroup` | [`StencilGroup`] |
+//!
+//! Expressions ([`Expr`]) close under `+ - * /` and negation, may mix
+//! constants and components freely, and weight-array entries may themselves
+//! be expressions reading *other* grids — this is how variable-coefficient
+//! operators such as the paper's Figure 4 `Ax` are written.
+//!
+//! Beyond the paper's Python surface syntax, reads and writes carry an
+//! [`AffineMap`] (`index = scale · p + offset` per dimension). The identity
+//! scale reproduces ordinary stencils; scale 2 expresses multigrid
+//! restriction/interpolation, the *multiplicative offsets* the paper notes
+//! competing DSLs (SDSL) cannot express.
+//!
+//! Compilation and execution live in `snowflake-ir` / `snowflake-backends`;
+//! dependence analysis in `snowflake-analysis`.
+
+pub mod bc;
+pub mod component;
+pub mod domain;
+pub mod error;
+pub mod expr;
+pub mod ops;
+pub mod parser;
+pub mod stencil;
+pub mod weights;
+
+pub use component::Component;
+pub use domain::{DomainUnion, RectDomain};
+pub use error::CoreError;
+pub use expr::{AffineMap, Expr, IntoExpr};
+pub use stencil::{Stencil, StencilGroup};
+pub use weights::{SparseArray, WeightArray};
+
+/// Convenient result alias for fallible DSL operations.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Map from grid name to its concrete shape, used when resolving domains
+/// and validating stencils against real meshes.
+pub type ShapeMap = std::collections::HashMap<String, Vec<usize>>;

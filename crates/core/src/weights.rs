@@ -1,0 +1,313 @@
+//! Weight arrays and sparse weight maps.
+//!
+//! A [`WeightArray`] is the paper's dense nested-literal form: in 1-D an
+//! odd-length array whose middle element is the stencil center; in N
+//! dimensions, arrays nested N deep. A [`SparseArray`] is the equivalent
+//! hashmap form keyed by offsets relative to the center. Both store
+//! [`Expr`] entries, so a weight may itself read another grid — that is how
+//! variable-coefficient stencils are expressed.
+
+use crate::error::CoreError;
+use crate::expr::Expr;
+use crate::Result;
+
+/// Dense, center-anchored weight array (extents must be odd).
+///
+/// ```
+/// use snowflake_core::{weights1, Expr};
+///
+/// let w = weights1![1.0, -2.0, 1.0];          // 1-D second difference
+/// let sparse = w.to_sparse();                 // offsets relative to center
+/// assert_eq!(sparse.get(&[-1]), Some(&Expr::Const(1.0)));
+/// assert_eq!(sparse.get(&[0]), Some(&Expr::Const(-2.0)));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct WeightArray {
+    shape: Vec<usize>,
+    /// Row-major entries, length = product of `shape`.
+    entries: Vec<Expr>,
+}
+
+impl WeightArray {
+    /// Build a 1-D weight array. The middle element is the center.
+    pub fn d1(entries: Vec<Expr>) -> Result<Self> {
+        Self::from_flat(vec![entries.len()], entries)
+    }
+
+    /// Build a 2-D weight array from nested rows.
+    pub fn d2(rows: Vec<Vec<Expr>>) -> Result<Self> {
+        let nrows = rows.len();
+        let ncols = rows.first().map(|r| r.len()).unwrap_or(0);
+        if rows.iter().any(|r| r.len() != ncols) {
+            return Err(CoreError::RaggedWeights);
+        }
+        Self::from_flat(vec![nrows, ncols], rows.into_iter().flatten().collect())
+    }
+
+    /// Build a 3-D weight array from nested planes of rows.
+    pub fn d3(planes: Vec<Vec<Vec<Expr>>>) -> Result<Self> {
+        let np = planes.len();
+        let nr = planes.first().map(|p| p.len()).unwrap_or(0);
+        let nc = planes
+            .first()
+            .and_then(|p| p.first())
+            .map(|r| r.len())
+            .unwrap_or(0);
+        if planes
+            .iter()
+            .any(|p| p.len() != nr || p.iter().any(|r| r.len() != nc))
+        {
+            return Err(CoreError::RaggedWeights);
+        }
+        Self::from_flat(
+            vec![np, nr, nc],
+            planes.into_iter().flatten().flatten().collect(),
+        )
+    }
+
+    /// Build from an explicit shape and row-major entries.
+    pub fn from_flat(shape: Vec<usize>, entries: Vec<Expr>) -> Result<Self> {
+        for &n in &shape {
+            if n % 2 == 0 {
+                return Err(CoreError::EvenWeightExtent { extent: n });
+            }
+        }
+        let expect: usize = shape.iter().product();
+        if entries.len() != expect {
+            return Err(CoreError::RaggedWeights);
+        }
+        Ok(WeightArray { shape, entries })
+    }
+
+    /// Dimensionality.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Extents per dimension (all odd).
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Convert to the sparse form, dropping exact-zero constant entries.
+    pub fn to_sparse(&self) -> SparseArray {
+        let ndim = self.ndim();
+        let center: Vec<i64> = self.shape.iter().map(|&n| (n / 2) as i64).collect();
+        let mut sparse = SparseArray::new(ndim);
+        let mut idx = vec![0usize; ndim];
+        for e in &self.entries {
+            if !matches!(e, Expr::Const(c) if *c == 0.0) {
+                let offset: Vec<i64> = (0..ndim).map(|d| idx[d] as i64 - center[d]).collect();
+                sparse.insert(offset, e.clone());
+            }
+            for d in (0..ndim).rev() {
+                idx[d] += 1;
+                if idx[d] < self.shape[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+        sparse
+    }
+}
+
+/// Sparse weight map: offsets (relative to the stencil center) → weight
+/// expressions. Entries keep insertion order for deterministic lowering.
+///
+/// ```
+/// use snowflake_core::{Component, SparseArray};
+///
+/// // A variable-coefficient weight: β[p] multiplies u[p+1].
+/// let beta = Component::read("beta", 1);
+/// let w = SparseArray::new(1).with(&[1], beta).with(&[0], -1.0);
+/// assert_eq!(w.len(), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct SparseArray {
+    ndim: usize,
+    entries: Vec<(Vec<i64>, Expr)>,
+}
+
+impl SparseArray {
+    /// Empty sparse array of the given rank.
+    pub fn new(ndim: usize) -> Self {
+        SparseArray {
+            ndim,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Insert or overwrite the weight at `offset`.
+    ///
+    /// # Panics
+    /// Panics if the offset rank mismatches the array rank.
+    pub fn insert(&mut self, offset: Vec<i64>, weight: Expr) {
+        assert_eq!(
+            offset.len(),
+            self.ndim,
+            "SparseArray offset rank mismatch"
+        );
+        if let Some(slot) = self.entries.iter_mut().find(|(o, _)| *o == offset) {
+            slot.1 = weight;
+        } else {
+            self.entries.push((offset, weight));
+        }
+    }
+
+    /// Builder-style insert.
+    pub fn with(mut self, offset: &[i64], weight: impl crate::expr::IntoExpr) -> Self {
+        self.insert(offset.to_vec(), weight.into_expr());
+        self
+    }
+
+    /// Dimensionality.
+    pub fn ndim(&self) -> usize {
+        self.ndim
+    }
+
+    /// Number of (non-dropped) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate `(offset, weight)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[i64], &Expr)> {
+        self.entries.iter().map(|(o, e)| (o.as_slice(), e))
+    }
+
+    /// Weight at an offset, if present.
+    pub fn get(&self, offset: &[i64]) -> Option<&Expr> {
+        self.entries
+            .iter()
+            .find(|(o, _)| o.as_slice() == offset)
+            .map(|(_, e)| e)
+    }
+}
+
+impl From<WeightArray> for SparseArray {
+    fn from(w: WeightArray) -> SparseArray {
+        w.to_sparse()
+    }
+}
+
+/// Build a 1-D [`WeightArray`] literal; entries may be numbers, `Expr`s or
+/// `Component`s: `weights1![1.0, -2.0, 1.0]`.
+#[macro_export]
+macro_rules! weights1 {
+    [$($e:expr),* $(,)?] => {
+        $crate::weights::WeightArray::d1(
+            vec![$($crate::expr::IntoExpr::into_expr($e)),*]
+        ).expect("invalid 1-D weight literal")
+    };
+}
+
+/// Build a 2-D [`WeightArray`] literal:
+/// `weights2![[0, 1, 0], [1, -4, 1], [0, 1, 0]]`.
+#[macro_export]
+macro_rules! weights2 {
+    [$([$($e:expr),* $(,)?]),* $(,)?] => {
+        $crate::weights::WeightArray::d2(
+            vec![$(vec![$($crate::expr::IntoExpr::into_expr($e)),*]),*]
+        ).expect("invalid 2-D weight literal")
+    };
+}
+
+/// Build a 3-D [`WeightArray`] literal (planes of rows).
+#[macro_export]
+macro_rules! weights3 {
+    [$([$([$($e:expr),* $(,)?]),* $(,)?]),* $(,)?] => {
+        $crate::weights::WeightArray::d3(
+            vec![$(vec![$(vec![$($crate::expr::IntoExpr::into_expr($e)),*]),*]),*]
+        ).expect("invalid 3-D weight literal")
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d1_center_is_middle() {
+        let w = weights1![1.0, -2.0, 1.0];
+        let s = w.to_sparse();
+        assert_eq!(s.get(&[-1]), Some(&Expr::Const(1.0)));
+        assert_eq!(s.get(&[0]), Some(&Expr::Const(-2.0)));
+        assert_eq!(s.get(&[1]), Some(&Expr::Const(1.0)));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn d2_five_point_laplacian_offsets() {
+        let w = weights2![[0, 1, 0], [1, -4, 1], [0, 1, 0]];
+        let s = w.to_sparse();
+        assert_eq!(s.len(), 5, "zeros must be dropped");
+        assert_eq!(s.get(&[0, 0]), Some(&Expr::Const(-4.0)));
+        assert_eq!(s.get(&[-1, 0]), Some(&Expr::Const(1.0)));
+        assert_eq!(s.get(&[0, -1]), Some(&Expr::Const(1.0)));
+        assert_eq!(s.get(&[0, 1]), Some(&Expr::Const(1.0)));
+        assert_eq!(s.get(&[1, 0]), Some(&Expr::Const(1.0)));
+        assert_eq!(s.get(&[1, 1]), None);
+    }
+
+    #[test]
+    fn d3_seven_point_offsets() {
+        let w = weights3![
+            [[0, 0, 0], [0, 1, 0], [0, 0, 0]],
+            [[0, 1, 0], [1, -6, 1], [0, 1, 0]],
+            [[0, 0, 0], [0, 1, 0], [0, 0, 0]]
+        ];
+        let s = w.to_sparse();
+        assert_eq!(s.len(), 7);
+        assert_eq!(s.get(&[0, 0, 0]), Some(&Expr::Const(-6.0)));
+        assert_eq!(s.get(&[-1, 0, 0]), Some(&Expr::Const(1.0)));
+        assert_eq!(s.get(&[0, 0, 1]), Some(&Expr::Const(1.0)));
+    }
+
+    #[test]
+    fn even_extent_rejected() {
+        assert!(matches!(
+            WeightArray::d1(vec![Expr::Const(1.0), Expr::Const(1.0)]),
+            Err(CoreError::EvenWeightExtent { extent: 2 })
+        ));
+    }
+
+    #[test]
+    fn ragged_rejected() {
+        let r = WeightArray::d2(vec![
+            vec![Expr::Const(1.0)],
+            vec![Expr::Const(1.0), Expr::Const(2.0)],
+        ]);
+        assert_eq!(r, Err(CoreError::RaggedWeights));
+    }
+
+    #[test]
+    fn expression_weights_survive() {
+        let coeff = Expr::read_at("beta", &[0, 0]);
+        let w = weights2![[0, 0, 0], [0.0, coeff.clone(), 0.0], [0, 0, 0]];
+        let s = w.to_sparse();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(&[0, 0]), Some(&coeff));
+    }
+
+    #[test]
+    fn sparse_insert_overwrites() {
+        let mut s = SparseArray::new(2);
+        s.insert(vec![0, 0], Expr::Const(1.0));
+        s.insert(vec![0, 0], Expr::Const(2.0));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(&[0, 0]), Some(&Expr::Const(2.0)));
+    }
+
+    #[test]
+    fn sparse_builder_with() {
+        let s = SparseArray::new(1).with(&[1], 0.5).with(&[-1], 0.5);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(&[1]), Some(&Expr::Const(0.5)));
+    }
+}

@@ -1,0 +1,36 @@
+//! # snowflake-grid
+//!
+//! The N-dimensional grid substrate underlying the Snowflake stencil DSL.
+//!
+//! The Snowflake paper applies stencils to dense rectangular meshes ("grids")
+//! of double-precision values; boundary conditions are realized by writing
+//! *ghost* cells that are part of the same allocation, so a grid here is a
+//! plain row-major N-d array with no implicit halo machinery — domains in the
+//! DSL decide which cells are interior and which are ghost.
+//!
+//! This crate provides:
+//!
+//! * [`Grid`] — an owned row-major N-dimensional array of `f64` with shape,
+//!   stride and index arithmetic, fills, reductions and norms.
+//! * [`GridSet`] — an ordered, name-addressed collection of grids; the
+//!   "mesh environment" a compiled stencil group executes against.
+//! * [`region`] — iteration over strided hyper-rectangular index regions,
+//!   matching the DSL's resolved `RectDomain`s.
+//! * [`rng`] — a tiny deterministic SplitMix64 generator so grid fills are
+//!   reproducible without external dependencies.
+
+pub mod grid;
+pub mod region;
+pub mod rng;
+pub mod set;
+
+pub use grid::Grid;
+pub use region::Region;
+pub use set::GridSet;
+
+/// Maximum number of dimensions supported across the workspace.
+///
+/// The paper demonstrates 2-D and 3-D stencils; we allow up to 4-D
+/// (e.g. 3-D space + a component index) while keeping loop nests statically
+/// bounded for the executors.
+pub const MAX_DIMS: usize = 4;

@@ -1,0 +1,208 @@
+//! Strided hyper-rectangular index regions.
+//!
+//! A [`Region`] is the runtime counterpart of a *resolved* DSL `RectDomain`:
+//! concrete per-dimension ranges `lo, lo+s, lo+2s, … < hi`. The interpreter
+//! backend and many tests iterate regions point-by-point; the optimizing
+//! backends tile them.
+
+/// A concrete strided hyper-rectangle of grid indices.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Region {
+    /// Inclusive lower bound per dimension.
+    pub lo: Vec<i64>,
+    /// Exclusive upper bound per dimension.
+    pub hi: Vec<i64>,
+    /// Positive stride per dimension.
+    pub stride: Vec<i64>,
+}
+
+impl Region {
+    /// Construct a region.
+    ///
+    /// # Panics
+    /// Panics if rank is inconsistent or any stride is non-positive.
+    pub fn new(lo: Vec<i64>, hi: Vec<i64>, stride: Vec<i64>) -> Self {
+        assert!(
+            lo.len() == hi.len() && hi.len() == stride.len(),
+            "region rank mismatch: lo={lo:?} hi={hi:?} stride={stride:?}"
+        );
+        assert!(
+            stride.iter().all(|&s| s > 0),
+            "region strides must be positive, got {stride:?}"
+        );
+        Region { lo, hi, stride }
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Number of points along dimension `d` (zero when empty).
+    pub fn extent(&self, d: usize) -> i64 {
+        if self.hi[d] <= self.lo[d] {
+            0
+        } else {
+            (self.hi[d] - self.lo[d] + self.stride[d] - 1) / self.stride[d]
+        }
+    }
+
+    /// Total number of points in the region.
+    pub fn num_points(&self) -> u64 {
+        (0..self.ndim()).map(|d| self.extent(d) as u64).product()
+    }
+
+    /// True when the region contains no points.
+    pub fn is_empty(&self) -> bool {
+        (0..self.ndim()).any(|d| self.extent(d) == 0)
+    }
+
+    /// Does the region contain the point `p`?
+    pub fn contains(&self, p: &[i64]) -> bool {
+        p.len() == self.ndim()
+            && (0..self.ndim()).all(|d| {
+                p[d] >= self.lo[d]
+                    && p[d] < self.hi[d]
+                    && (p[d] - self.lo[d]) % self.stride[d] == 0
+            })
+    }
+
+    /// Iterate all points in row-major order.
+    pub fn points(&self) -> RegionIter<'_> {
+        RegionIter {
+            region: self,
+            cur: if self.is_empty() {
+                None
+            } else {
+                Some(self.lo.clone())
+            },
+        }
+    }
+
+    /// Split the region along dimension `d` into chunks of at most
+    /// `max_points` points each (used for tiling / task decomposition).
+    pub fn split_dim(&self, d: usize, max_points: i64) -> Vec<Region> {
+        assert!(max_points > 0, "split chunk must be positive");
+        let n = self.extent(d);
+        if n == 0 {
+            return vec![];
+        }
+        let mut out = Vec::new();
+        let mut start_pt = 0i64;
+        while start_pt < n {
+            let len = max_points.min(n - start_pt);
+            let mut r = self.clone();
+            r.lo[d] = self.lo[d] + start_pt * self.stride[d];
+            r.hi[d] = (self.lo[d] + (start_pt + len - 1) * self.stride[d]) + 1;
+            out.push(r);
+            start_pt += len;
+        }
+        out
+    }
+}
+
+/// Row-major point iterator over a [`Region`].
+pub struct RegionIter<'a> {
+    region: &'a Region,
+    cur: Option<Vec<i64>>,
+}
+
+impl Iterator for RegionIter<'_> {
+    type Item = Vec<i64>;
+
+    fn next(&mut self) -> Option<Vec<i64>> {
+        let cur = self.cur.as_mut()?;
+        let out = cur.clone();
+        // Odometer increment.
+        let r = self.region;
+        let mut d = r.ndim();
+        loop {
+            if d == 0 {
+                self.cur = None;
+                break;
+            }
+            d -= 1;
+            cur[d] += r.stride[d];
+            if cur[d] < r.hi[d] {
+                break;
+            }
+            cur[d] = r.lo[d];
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(lo: &[i64], hi: &[i64], s: &[i64]) -> Region {
+        Region::new(lo.to_vec(), hi.to_vec(), s.to_vec())
+    }
+
+    #[test]
+    fn extent_and_count() {
+        let reg = r(&[1, 1], &[7, 8], &[2, 3]);
+        assert_eq!(reg.extent(0), 3); // 1,3,5
+        assert_eq!(reg.extent(1), 3); // 1,4,7
+        assert_eq!(reg.num_points(), 9);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn empty_region() {
+        let reg = r(&[5], &[5], &[1]);
+        assert!(reg.is_empty());
+        assert_eq!(reg.points().count(), 0);
+        assert_eq!(reg.num_points(), 0);
+    }
+
+    #[test]
+    fn points_row_major_strided() {
+        let reg = r(&[0, 1], &[4, 4], &[2, 2]);
+        let pts: Vec<_> = reg.points().collect();
+        assert_eq!(
+            pts,
+            vec![vec![0, 1], vec![0, 3], vec![2, 1], vec![2, 3]]
+        );
+    }
+
+    #[test]
+    fn contains_respects_stride_and_bounds() {
+        let reg = r(&[1, 1], &[9, 9], &[2, 2]);
+        assert!(reg.contains(&[3, 5]));
+        assert!(!reg.contains(&[2, 5])); // off-stride
+        assert!(!reg.contains(&[3, 9])); // out of bounds
+        assert!(!reg.contains(&[0, 1])); // below lo
+    }
+
+    #[test]
+    fn split_dim_partitions_points() {
+        let reg = r(&[1], &[12], &[2]); // 1,3,5,7,9,11 => 6 points
+        let chunks = reg.split_dim(0, 4);
+        assert_eq!(chunks.len(), 2);
+        let all: Vec<_> = chunks.iter().flat_map(|c| c.points()).collect();
+        let orig: Vec<_> = reg.points().collect();
+        assert_eq!(all, orig);
+    }
+
+    #[test]
+    fn split_preserves_stride_alignment() {
+        let reg = r(&[2, 0], &[20, 3], &[3, 1]); // dim0: 2,5,8,11,14,17
+        let chunks = reg.split_dim(0, 2);
+        let mut total = 0u64;
+        for c in &chunks {
+            for p in c.points() {
+                assert!(reg.contains(&p), "chunk leaked point {p:?}");
+                total += 1;
+            }
+        }
+        assert_eq!(total, reg.num_points());
+    }
+
+    #[test]
+    fn iterator_count_matches_num_points() {
+        let reg = r(&[0, 0, 0], &[3, 4, 5], &[1, 2, 3]);
+        assert_eq!(reg.points().count() as u64, reg.num_points());
+    }
+}

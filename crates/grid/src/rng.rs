@@ -1,0 +1,89 @@
+//! Deterministic SplitMix64 pseudo-random generator.
+//!
+//! Grid fills used in tests and benchmarks must be reproducible across runs
+//! and backends so that numerical comparisons are meaningful. SplitMix64 is
+//! the standard seeding generator from Steele et al.; it is tiny, fast and
+//! has no external dependencies.
+
+/// A SplitMix64 generator. Construct with [`SplitMix64::new`] and draw with
+/// [`SplitMix64::next_u64`] or [`SplitMix64::next_f64`].
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform double in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 mantissa bits of the raw draw.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform double in `[lo, hi)`.
+    pub fn next_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut g = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            let x = g.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_respected() {
+        let mut g = SplitMix64::new(9);
+        for _ in 0..1_000 {
+            let x = g.next_range(-3.0, 5.0);
+            assert!((-3.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn reference_values_match_splitmix64() {
+        // Reference outputs for seed 1234567 from the canonical C
+        // implementation (Vigna / Steele et al.).
+        let mut g = SplitMix64::new(1234567);
+        assert_eq!(g.next_u64(), 6457827717110365317);
+        assert_eq!(g.next_u64(), 3203168211198807973);
+    }
+}

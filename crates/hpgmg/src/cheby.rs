@@ -1,0 +1,110 @@
+//! Chebyshev polynomial smoothing (§II lists Chebyshev smoothing among the
+//! in-place techniques Snowflake must express; HPGMG ships it as an
+//! alternative to GSRB).
+//!
+//! The degree-`d` Chebyshev smoother damps the error components of
+//! `D⁻¹A` over the eigenvalue window `[α, β]` optimally among degree-`d`
+//! polynomial methods. Each step is
+//!
+//! ```text
+//! x_{n+1} = x_n + c1ₛ·(x_n − x_{n−1}) + c2ₛ·D⁻¹·(rhs − A·x_n)
+//! ```
+//!
+//! with the classic three-term-recurrence coefficients (the same scheme as
+//! HPGMG-FV's `chebyshev.c`). For our SPD operators `D⁻¹A` has spectrum in
+//! `(0, 2)` by Gershgorin, so `β = 2` is a safe dominant-eigenvalue bound
+//! and `α = β/8` the customary smoothing window.
+
+/// Default polynomial degree (HPGMG's `CHEBYSHEV_DEGREE`).
+pub const DEGREE: usize = 4;
+
+/// Safe upper bound on the dominant eigenvalue of `D⁻¹A` for the 7-point
+/// SPD operators used here (Gershgorin row sums ≤ 2 when `a ≥ 0`).
+pub const EIG_MAX: f64 = 2.0;
+
+/// Per-step `(c1, c2)` coefficients for a degree-`degree` smoother over
+/// the window `[eig_max/8, eig_max]`.
+pub fn coefficients(degree: usize, eig_max: f64) -> Vec<(f64, f64)> {
+    assert!(degree >= 1, "Chebyshev degree must be >= 1");
+    assert!(eig_max > 0.0, "eigenvalue bound must be positive");
+    let beta = eig_max;
+    let alpha = 0.125 * beta;
+    let theta = 0.5 * (beta + alpha);
+    let delta = 0.5 * (beta - alpha);
+    let sigma = theta / delta;
+    let mut rho_n = 1.0 / sigma;
+    let mut out = Vec::with_capacity(degree);
+    out.push((0.0, 1.0 / theta));
+    for _ in 1..degree {
+        let rho_np1 = 1.0 / (2.0 * sigma - rho_n);
+        out.push((rho_np1 * rho_n, rho_np1 * 2.0 / delta));
+        rho_n = rho_np1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_step_is_weighted_richardson() {
+        let c = coefficients(4, 2.0);
+        assert_eq!(c[0].0, 0.0, "no momentum on the first step");
+        // c2[0] = 1/theta with theta = (2 + 0.25)/2 = 1.125.
+        assert!((c[0].1 - 1.0 / 1.125).abs() < 1e-15);
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn coefficients_are_positive_and_bounded() {
+        for degree in 1..8 {
+            for (c1, c2) in coefficients(degree, 2.0) {
+                assert!((0.0..1.0).contains(&c1), "momentum in [0,1): {c1}");
+                assert!(c2 > 0.0 && c2 < 2.0, "step size sane: {c2}");
+            }
+        }
+    }
+
+    #[test]
+    fn damps_the_whole_window_scalar_model() {
+        // On the scalar model problem x' = x + c1(x - xp) + c2(b - λx)
+        // with b = λ·x*, the degree-4 polynomial must damp every λ in
+        // [α, β] strongly (|p(λ)| small) — the defining property.
+        let coeffs = coefficients(DEGREE, EIG_MAX);
+        let beta = EIG_MAX;
+        let alpha = 0.125 * beta;
+        for s in 0..=20 {
+            let lambda = alpha + (beta - alpha) * s as f64 / 20.0;
+            // Error propagation: e ↦ e + c1(e − ep) − c2·λ·e (x* = 0, b = 0).
+            let (mut e, mut ep) = (1.0f64, 1.0f64);
+            for &(c1, c2) in &coeffs {
+                let en = e + c1 * (e - ep) - c2 * lambda * e;
+                ep = e;
+                e = en;
+            }
+            // The degree-4 equioscillation bound for window ratio 8 is
+            // 1/cosh(4·acosh(9/7)) ≈ 0.106; every λ in the window must be
+            // damped at least that well (plus slack for the endpoints).
+            assert!(
+                e.abs() < 0.11,
+                "degree-4 Chebyshev must damp λ={lambda}: residual factor {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn smooth_components_below_window_survive() {
+        // λ ≪ α (the smooth error multigrid corrects on coarser levels)
+        // must NOT be annihilated — the smoother only handles the window.
+        let coeffs = coefficients(DEGREE, EIG_MAX);
+        let lambda = 0.01;
+        let (mut e, mut ep) = (1.0f64, 1.0f64);
+        for &(c1, c2) in &coeffs {
+            let en = e + c1 * (e - ep) - c2 * lambda * e;
+            ep = e;
+            e = en;
+        }
+        assert!(e.abs() > 0.5, "smooth modes pass through: {e}");
+    }
+}

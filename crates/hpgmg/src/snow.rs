@@ -1,0 +1,501 @@
+//! The Snowflake-driven multigrid solver.
+//!
+//! Identical algorithm to [`crate::hand::HandSolver`], but every operator
+//! is a [`StencilGroup`] compiled by a pluggable backend through the JIT
+//! compile cache. Swapping `Box<dyn Backend>` is the paper's entire
+//! porting story: the solver source does not change.
+
+use snowflake_backends::{Backend, CompileCache};
+use snowflake_core::{Result, StencilGroup};
+use snowflake_grid::{Grid, GridSet};
+
+use crate::hand;
+use crate::problem::{u_exact, LevelData, Problem};
+use crate::stencils::{
+    chebyshev_step_group, gsrb_smooth_group, interpolate_group, interpolate_linear_group,
+    residual_group, restrict_group, restrict_rhs_group, Coeff, Names,
+};
+use crate::{BottomSolve, InterpKind, Smoother, BOTTOM_SMOOTHS, SMOOTHS_PER_LEG};
+
+/// Geometric multigrid with Snowflake-compiled operators.
+pub struct SnowSolver {
+    /// Problem configuration.
+    pub problem: Problem,
+    /// Interior size per level, finest first.
+    pub sizes: Vec<usize>,
+    /// All levels' grids, names suffixed by level.
+    pub grids: GridSet,
+    /// Exact discrete solution on the finest level.
+    pub x_true: Grid,
+    /// Smoother used by the cycles.
+    pub smoother: Smoother,
+    /// Coarse-grid solver.
+    pub bottom: BottomSolve,
+    /// Prolongation operator.
+    pub interp: InterpKind,
+    cache: CompileCache,
+    smooth: Vec<StencilGroup>,
+    /// Chebyshev per-step groups (empty unless `smoother == Chebyshev`).
+    cheby_steps: Vec<Vec<StencilGroup>>,
+    residual: Vec<StencilGroup>,
+    restrict: Vec<StencilGroup>,
+    restrict_rhs: Vec<StencilGroup>,
+    interpolate: Vec<StencilGroup>,
+    interpolate_linear: Vec<StencilGroup>,
+}
+
+impl SnowSolver {
+    /// Build the hierarchy (identical data to [`hand::HandSolver::new`])
+    /// and pre-compile every operator group on `backend`.
+    pub fn new(problem: Problem, backend: Box<dyn Backend>) -> Result<Self> {
+        Self::with_smoother(problem, backend, Smoother::default())
+    }
+
+    /// As [`SnowSolver::new`], selecting the smoother.
+    pub fn with_smoother(
+        problem: Problem,
+        backend: Box<dyn Backend>,
+        smoother: Smoother,
+    ) -> Result<Self> {
+        let sizes = problem.level_sizes();
+        let coeff = if problem.variable_coeff {
+            Coeff::Variable
+        } else {
+            Coeff::Constant
+        };
+
+        let mut grids = GridSet::new();
+        let mut x_true = Grid::new(&[1]);
+        for (l, &n) in sizes.iter().enumerate() {
+            let mut lvl = LevelData::build(&problem, n);
+            if l == 0 {
+                // Manufacture the finest rhs exactly as the hand solver.
+                let mut xt = Grid::new(lvl.x.shape());
+                lvl.fill_interior(&mut xt, u_exact);
+                hand::apply_boundary(&mut xt, n);
+                let mut rhs = Grid::new(lvl.x.shape());
+                hand::apply_op(&mut rhs, &xt, &lvl, problem.a, problem.b);
+                lvl.rhs = rhs;
+                x_true = xt;
+            }
+            let names = Names::level(l);
+            grids.insert(&names.x, lvl.x);
+            grids.insert(&names.rhs, lvl.rhs);
+            grids.insert(&names.res, lvl.res);
+            grids.insert(&names.tmp, lvl.tmp);
+            grids.insert(&names.dinv, lvl.dinv);
+            grids.insert(&names.alpha, lvl.alpha);
+            grids.insert(&names.beta_x, lvl.beta_x);
+            grids.insert(&names.beta_y, lvl.beta_y);
+            grids.insert(&names.beta_z, lvl.beta_z);
+        }
+
+        let mut smooth = Vec::new();
+        let mut cheby_steps = Vec::new();
+        let mut residual_g = Vec::new();
+        let mut restrict_g = Vec::new();
+        let mut restrict_rhs_g = Vec::new();
+        let mut interp_g = Vec::new();
+        let mut interp_lin_g = Vec::new();
+        let cheby_coeffs =
+            crate::cheby::coefficients(crate::cheby::DEGREE, crate::cheby::EIG_MAX);
+        for (l, &n) in sizes.iter().enumerate() {
+            let names = Names::level(l);
+            let h2inv = (n * n) as f64;
+            smooth.push(gsrb_smooth_group(&names, coeff, problem.a, problem.b, h2inv));
+            if smoother == Smoother::Chebyshev {
+                cheby_steps.push(
+                    cheby_coeffs
+                        .iter()
+                        .map(|&(c1, c2)| {
+                            chebyshev_step_group(
+                                &names, coeff, problem.a, problem.b, h2inv, c1, c2,
+                            )
+                        })
+                        .collect(),
+                );
+            } else {
+                cheby_steps.push(Vec::new());
+            }
+            residual_g.push(residual_group(&names, coeff, problem.a, problem.b, h2inv));
+            if l + 1 < sizes.len() {
+                restrict_g.push(restrict_group(&names, &Names::level(l + 1)));
+                restrict_rhs_g.push(restrict_rhs_group(&names, &Names::level(l + 1)));
+                interp_g.push(interpolate_group(&Names::level(l + 1), &names));
+                interp_lin_g.push(interpolate_linear_group(&Names::level(l + 1), &names));
+            }
+        }
+
+        let cache = CompileCache::new(backend);
+        let solver = SnowSolver {
+            problem,
+            sizes,
+            grids,
+            x_true,
+            smoother,
+            bottom: BottomSolve::default(),
+            interp: InterpKind::default(),
+            cache,
+            smooth,
+            cheby_steps,
+            residual: residual_g,
+            restrict: restrict_g,
+            restrict_rhs: restrict_rhs_g,
+            interpolate: interp_g,
+            interpolate_linear: interp_lin_g,
+        };
+        // Warm the JIT cache so solve timings exclude compilation, like the
+        // paper's untimed warm-up.
+        solver.precompile()?;
+        Ok(solver)
+    }
+
+    fn precompile(&self) -> Result<()> {
+        let shapes = self.grids.shapes();
+        for g in self
+            .smooth
+            .iter()
+            .chain(&self.residual)
+            .chain(&self.restrict)
+            .chain(&self.restrict_rhs)
+            .chain(&self.interpolate)
+            .chain(&self.interpolate_linear)
+            .chain(self.cheby_steps.iter().flatten())
+        {
+            self.cache.get_or_compile(g, &shapes)?;
+        }
+        Ok(())
+    }
+
+    /// Select the coarse-grid solver (builder style).
+    pub fn with_bottom(mut self, bottom: BottomSolve) -> Self {
+        self.bottom = bottom;
+        self
+    }
+
+    /// Select the prolongation operator (builder style).
+    pub fn with_interp(mut self, interp: InterpKind) -> Self {
+        self.interp = interp;
+        self
+    }
+
+    fn prolong(&mut self, l: usize) -> Result<()> {
+        let group = match self.interp {
+            InterpKind::Constant => self.interpolate[l].clone(),
+            InterpKind::Linear => self.interpolate_linear[l].clone(),
+        };
+        self.cache.run(&group, &mut self.grids)
+    }
+
+    /// Run the coarse-grid solve at level `l`.
+    ///
+    /// BiCGStab extracts the coarsest level into a scratch [`LevelData`]
+    /// and runs the host-side Krylov loop around hand operator
+    /// applications — reductions live in the host language, exactly as the
+    /// paper's Python host computed norms around compiled stencils. The
+    /// coarsest grid is a few hundred cells, so the copies are free.
+    fn bottom_solve(&mut self, l: usize) -> Result<()> {
+        match self.bottom {
+            BottomSolve::Smooths => {
+                for _ in 0..BOTTOM_SMOOTHS {
+                    self.smooth_level(l)?;
+                }
+                Ok(())
+            }
+            BottomSolve::BiCgStab => {
+                let names = Names::level(l);
+                let mut lvl = LevelData::build(&self.problem, self.sizes[l]);
+                lvl.x = self.grids.get(&names.x).expect("x").clone();
+                lvl.rhs = self.grids.get(&names.rhs).expect("rhs").clone();
+                crate::bottom::bicgstab(&mut lvl, self.problem.a, self.problem.b, 50, 1e-9);
+                *self.grids.get_mut(&names.x).expect("x") = lvl.x;
+                Ok(())
+            }
+        }
+    }
+
+    /// Name of the compiling backend.
+    pub fn backend_name(&self) -> &'static str {
+        self.cache.backend_name()
+    }
+
+    /// Apply one smooth at level `l` using the configured smoother.
+    pub fn smooth_level(&mut self, l: usize) -> Result<()> {
+        match self.smoother {
+            Smoother::GsRb => self.cache.run(&self.smooth[l], &mut self.grids),
+            Smoother::Chebyshev => {
+                let names = Names::level(l);
+                for step in 0..self.cheby_steps[l].len() {
+                    let group = self.cheby_steps[l][step].clone();
+                    self.cache.run(&group, &mut self.grids)?;
+                    self.grids.swap_data(&names.x, &names.tmp);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// One V-cycle from level `l` down.
+    pub fn vcycle(&mut self, l: usize) -> Result<()> {
+        let last = self.sizes.len() - 1;
+        if l == last {
+            self.bottom_solve(l)?;
+            return Ok(());
+        }
+        for _ in 0..SMOOTHS_PER_LEG {
+            self.smooth_level(l)?;
+        }
+        self.cache.run(&self.residual[l], &mut self.grids)?;
+        self.cache.run(&self.restrict[l], &mut self.grids)?;
+        self.vcycle(l + 1)?;
+        self.prolong(l)?;
+        for _ in 0..SMOOTHS_PER_LEG {
+            self.smooth_level(l)?;
+        }
+        Ok(())
+    }
+
+    /// One full-multigrid F-cycle (HPGMG's default cycle type).
+    pub fn fcycle(&mut self) -> Result<()> {
+        let last = self.sizes.len() - 1;
+        for l in 0..last {
+            self.cache.run(&self.restrict_rhs[l], &mut self.grids)?;
+        }
+        for l in 0..=last {
+            self.grids
+                .get_mut(&Names::level(l).x)
+                .expect("x grid")
+                .fill(0.0);
+        }
+        self.bottom_solve(last)?;
+        for l in (0..last).rev() {
+            self.prolong(l)?;
+            self.vcycle(l)?;
+        }
+        Ok(())
+    }
+
+    /// Residual max-norm on the finest level.
+    pub fn residual_norm(&mut self) -> Result<f64> {
+        self.cache.run(&self.residual[0], &mut self.grids)?;
+        let n = self.sizes[0];
+        let res = self.grids.get(&Names::level(0).res).expect("res grid");
+        Ok(interior_norm_max(res, n))
+    }
+
+    /// Run `cycles` V-cycles from a zero guess; returns residual norms
+    /// (initial first).
+    pub fn solve(&mut self, cycles: usize) -> Result<Vec<f64>> {
+        self.solve_opts(cycles, false)
+    }
+
+    /// As [`SnowSolver::solve`]; when `fmg` is set the first cycle is a
+    /// full-multigrid F-cycle instead of a V-cycle.
+    pub fn solve_opts(&mut self, cycles: usize, fmg: bool) -> Result<Vec<f64>> {
+        self.grids
+            .get_mut(&Names::level(0).x)
+            .expect("x grid")
+            .fill(0.0);
+        let mut norms = vec![self.residual_norm()?];
+        for c in 0..cycles {
+            if fmg && c == 0 {
+                self.fcycle()?;
+            } else {
+                self.vcycle(0)?;
+            }
+            norms.push(self.residual_norm()?);
+        }
+        Ok(norms)
+    }
+
+    /// Max-norm error against the exact discrete solution.
+    pub fn error_norm(&self) -> f64 {
+        let n = self.sizes[0];
+        let x = self.grids.get(&Names::level(0).x).expect("x grid");
+        let mut m = 0.0f64;
+        for i in 1..=n {
+            for j in 1..=n {
+                for k in 1..=n {
+                    m = m.max((x.get(&[i, j, k]) - self.x_true.get(&[i, j, k])).abs());
+                }
+            }
+        }
+        m
+    }
+
+    /// Total degrees of freedom on the finest level.
+    pub fn dof(&self) -> u64 {
+        let n = self.sizes[0] as u64;
+        n * n * n
+    }
+
+    /// JIT cache statistics `(hits, misses)`.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+}
+
+/// Max-norm over the `n³` interior of an `(n+2)³` grid.
+pub fn interior_norm_max(grid: &Grid, n: usize) -> f64 {
+    let mut m = 0.0f64;
+    for i in 1..=n {
+        for j in 1..=n {
+            for k in 1..=n {
+                m = m.max(grid.get(&[i, j, k]).abs());
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snowflake_backends::{OmpBackend, SequentialBackend};
+
+    #[test]
+    fn snow_seq_converges_cc() {
+        let mut s =
+            SnowSolver::new(Problem::poisson_cc(8), Box::new(SequentialBackend::new())).unwrap();
+        let norms = s.solve(5).unwrap();
+        assert!(
+            norms[5] / norms[0] < 1e-4,
+            "CC multigrid should contract: {norms:?}"
+        );
+        assert!(s.error_norm() < 1e-3);
+    }
+
+    #[test]
+    fn snow_omp_converges_vc() {
+        let mut s =
+            SnowSolver::new(Problem::poisson_vc(8), Box::new(OmpBackend::new())).unwrap();
+        let norms = s.solve(5).unwrap();
+        assert!(
+            norms[5] / norms[0] < 1e-3,
+            "VC multigrid should contract: {norms:?}"
+        );
+    }
+
+    #[test]
+    fn snow_matches_hand_exactly_per_vcycle() {
+        // Same algorithm, same data, same arithmetic order per point — the
+        // two solvers should agree to near machine precision after a cycle.
+        let p = Problem::poisson_vc(8);
+        let mut hand_solver = crate::HandSolver::new(p);
+        let mut snow_solver =
+            SnowSolver::new(p, Box::new(SequentialBackend::new())).unwrap();
+        hand_solver.levels[0].x.fill(0.0);
+        hand_solver.vcycle(0);
+        snow_solver.vcycle(0).unwrap();
+        let hx = &hand_solver.levels[0].x;
+        let sx = snow_solver.grids.get("x_0").unwrap();
+        let diff = hand_solver.levels[0].interior_diff_max(hx, sx);
+        assert!(diff < 1e-11, "hand vs snowflake diverged: {diff}");
+    }
+
+    #[test]
+    fn snow_chebyshev_matches_hand_chebyshev() {
+        let p = Problem::poisson_vc(8);
+        let mut hand_solver =
+            crate::HandSolver::new(p).with_smoother(crate::Smoother::Chebyshev);
+        let mut snow_solver = SnowSolver::with_smoother(
+            p,
+            Box::new(SequentialBackend::new()),
+            crate::Smoother::Chebyshev,
+        )
+        .unwrap();
+        hand_solver.levels[0].x.fill(0.0);
+        hand_solver.vcycle(0);
+        snow_solver.vcycle(0).unwrap();
+        let diff = hand_solver.levels[0].interior_diff_max(
+            &hand_solver.levels[0].x,
+            snow_solver.grids.get("x_0").unwrap(),
+        );
+        assert!(diff < 1e-10, "Chebyshev hand vs snowflake diverged: {diff}");
+    }
+
+    #[test]
+    fn snow_fcycle_matches_hand_fcycle() {
+        let p = Problem::poisson_vc(8);
+        let mut hand_solver = crate::HandSolver::new(p);
+        let mut snow_solver =
+            SnowSolver::new(p, Box::new(SequentialBackend::new())).unwrap();
+        hand_solver.fcycle();
+        snow_solver.fcycle().unwrap();
+        let diff = hand_solver.levels[0].interior_diff_max(
+            &hand_solver.levels[0].x,
+            snow_solver.grids.get("x_0").unwrap(),
+        );
+        assert!(diff < 1e-10, "F-cycle hand vs snowflake diverged: {diff}");
+    }
+
+    #[test]
+    fn snow_chebyshev_converges() {
+        let mut s = SnowSolver::with_smoother(
+            Problem::poisson_cc(8),
+            Box::new(OmpBackend::new()),
+            crate::Smoother::Chebyshev,
+        )
+        .unwrap();
+        let norms = s.solve(5).unwrap();
+        assert!(norms[5] / norms[0] < 1e-3, "{norms:?}");
+    }
+
+    #[test]
+    fn snow_linear_interp_matches_hand() {
+        let p = Problem::poisson_vc(8);
+        let mut hand_solver = crate::HandSolver::new(p).with_interp(crate::InterpKind::Linear);
+        let hn = hand_solver.solve(2);
+        let mut snow_solver = SnowSolver::new(p, Box::new(SequentialBackend::new()))
+            .unwrap()
+            .with_interp(crate::InterpKind::Linear);
+        let sn = snow_solver.solve(2).unwrap();
+        for (a, b) in hn.iter().zip(&sn) {
+            assert!(((a - b) / a.abs().max(1e-300)).abs() < 1e-7, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn bicgstab_bottom_matches_or_beats_smooth_bottom() {
+        let p = Problem::poisson_vc(8);
+        let mut smooths = SnowSolver::new(p, Box::new(SequentialBackend::new())).unwrap();
+        let ns = smooths.solve(3).unwrap();
+        let mut krylov = SnowSolver::new(p, Box::new(SequentialBackend::new()))
+            .unwrap()
+            .with_bottom(crate::BottomSolve::BiCgStab);
+        let nk = krylov.solve(3).unwrap();
+        // An (essentially) exact bottom solve can only help convergence.
+        assert!(
+            nk[3] <= ns[3] * 1.5,
+            "BiCGStab bottom must not hurt: {nk:?} vs {ns:?}"
+        );
+        assert!(nk[3] / nk[0] < 1e-3);
+    }
+
+    #[test]
+    fn snow_and_hand_agree_with_bicgstab_bottom() {
+        let p = Problem::poisson_vc(8);
+        let mut hand_solver =
+            crate::HandSolver::new(p).with_bottom(crate::BottomSolve::BiCgStab);
+        let hn = hand_solver.solve(2);
+        let mut snow_solver = SnowSolver::new(p, Box::new(SequentialBackend::new()))
+            .unwrap()
+            .with_bottom(crate::BottomSolve::BiCgStab);
+        let sn = snow_solver.solve(2).unwrap();
+        for (a, b) in hn.iter().zip(&sn) {
+            assert!(((a - b) / a.abs().max(1e-300)).abs() < 1e-7, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn cache_compiles_each_level_once() {
+        let mut s =
+            SnowSolver::new(Problem::poisson_cc(8), Box::new(SequentialBackend::new())).unwrap();
+        s.solve(3).unwrap();
+        let (hits, misses) = s.cache_stats();
+        // 2 levels × (smooth + residual) + 1 × (restrict + restrict_rhs +
+        // interp_pc + interp_linear) = 8.
+        assert_eq!(misses, 8);
+        assert!(hits > misses, "repeated runs must hit the cache");
+    }
+}

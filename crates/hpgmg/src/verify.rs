@@ -1,0 +1,93 @@
+//! Cross-implementation verification helpers.
+//!
+//! The benchmark harness and integration tests use these to assert the
+//! paper's implicit correctness contract: every backend, and the hand
+//! baseline, compute the same multigrid iterates from a single source.
+
+use snowflake_backends::Backend;
+use snowflake_core::Result;
+
+use crate::problem::Problem;
+use crate::{HandSolver, SnowSolver};
+
+/// Outcome of one solver verification run.
+#[derive(Clone, Debug)]
+pub struct VerifyReport {
+    /// Residual norms per V-cycle (initial first).
+    pub norms: Vec<f64>,
+    /// Final max-norm error against the exact discrete solution.
+    pub error: f64,
+    /// Geometric-mean residual contraction factor per cycle.
+    pub contraction: f64,
+}
+
+impl VerifyReport {
+    fn from_norms(norms: Vec<f64>, error: f64) -> Self {
+        let cycles = norms.len() - 1;
+        let contraction = if cycles == 0 || norms[0] == 0.0 {
+            0.0
+        } else {
+            (norms[cycles] / norms[0]).powf(1.0 / cycles as f64)
+        };
+        VerifyReport {
+            norms,
+            error,
+            contraction,
+        }
+    }
+}
+
+/// Run the hand-optimized solver.
+pub fn verify_hand(problem: Problem, cycles: usize) -> VerifyReport {
+    let mut s = HandSolver::new(problem);
+    let norms = s.solve(cycles);
+    let error = s.error_norm();
+    VerifyReport::from_norms(norms, error)
+}
+
+/// Run the Snowflake solver on a backend.
+pub fn verify_snow(
+    problem: Problem,
+    cycles: usize,
+    backend: Box<dyn Backend>,
+) -> Result<VerifyReport> {
+    let mut s = SnowSolver::new(problem, backend)?;
+    let norms = s.solve(cycles)?;
+    let error = s.error_norm();
+    Ok(VerifyReport::from_norms(norms, error))
+}
+
+/// Assert two reports describe the same convergence history (used to show
+/// backend-independence of the numerics).
+pub fn assert_reports_match(a: &VerifyReport, b: &VerifyReport, tol: f64) {
+    assert_eq!(a.norms.len(), b.norms.len());
+    for (x, y) in a.norms.iter().zip(&b.norms) {
+        let denom = x.abs().max(y.abs()).max(1e-300);
+        assert!(
+            ((x - y) / denom).abs() < tol,
+            "residual histories diverge: {x} vs {y}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snowflake_backends::SequentialBackend;
+
+    #[test]
+    fn contraction_factor_reported() {
+        let r = verify_hand(Problem::poisson_cc(8), 3);
+        assert!(r.contraction > 0.0 && r.contraction < 0.2,
+            "V(2,2) GSRB should contract by ~10x/cycle, got {}", r.contraction);
+        assert_eq!(r.norms.len(), 4);
+    }
+
+    #[test]
+    fn hand_and_snow_histories_match() {
+        let p = Problem::poisson_vc(8);
+        let a = verify_hand(p, 2);
+        let b = verify_snow(p, 2, Box::new(SequentialBackend::new())).unwrap();
+        assert_reports_match(&a, &b, 1e-9);
+    }
+}

@@ -1,0 +1,615 @@
+//! Stack bytecode for stencil expressions.
+//!
+//! Expressions are lowered (after constant folding) into reverse-Polish
+//! programs. A read is addressed as *cursor class + constant delta*: all
+//! reads sharing a `(grid, scale)` pair use one linear cursor that the
+//! executor advances incrementally as the loop nest walks the region, so
+//! the inner loop does no index arithmetic beyond `cursor + delta`.
+
+use std::collections::HashMap;
+
+use snowflake_core::{AffineMap, CoreError, Expr};
+use snowflake_grid::grid::row_major_strides;
+
+use crate::kernel::AccessClass;
+
+/// One bytecode operation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Op {
+    /// Push a constant.
+    Const(f64),
+    /// Push `grid_data[cursor[class] + delta]`.
+    Read {
+        /// Index into the kernel's cursor-class table.
+        class: u32,
+        /// Constant element offset from the class cursor.
+        delta: isize,
+    },
+    /// Pop two, push their sum.
+    Add,
+    /// Pop two, push `a - b` (a pushed first).
+    Sub,
+    /// Pop two, push their product.
+    Mul,
+    /// Pop two, push `a / b` (a pushed first).
+    Div,
+    /// Negate the top of stack.
+    Neg,
+}
+
+/// A lowered expression: RPN ops plus the stack depth the executor needs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Program {
+    /// Operations in evaluation order.
+    pub ops: Vec<Op>,
+    /// Maximum stack occupancy during evaluation.
+    pub stack_need: usize,
+}
+
+/// Accumulates cursor classes while lowering one stencil.
+pub struct ClassTable<'a> {
+    grid_index: &'a dyn Fn(&str) -> Option<usize>,
+    shapes: &'a dyn Fn(usize) -> Vec<usize>,
+    classes: Vec<AccessClass>,
+    lookup: HashMap<(usize, Vec<i64>), u32>,
+}
+
+impl<'a> ClassTable<'a> {
+    /// Create a table; `grid_index` maps names to dense indices and
+    /// `shapes` returns a grid's shape by index.
+    pub fn new(
+        grid_index: &'a dyn Fn(&str) -> Option<usize>,
+        shapes: &'a dyn Fn(usize) -> Vec<usize>,
+    ) -> Self {
+        ClassTable {
+            grid_index,
+            shapes,
+            classes: Vec::new(),
+            lookup: HashMap::new(),
+        }
+    }
+
+    /// Intern the `(grid, scale)` class of an access; returns
+    /// `(class id, delta)` for the access's map.
+    pub fn intern(&mut self, grid: &str, map: &AffineMap) -> Result<(u32, isize), CoreError> {
+        let gi = (self.grid_index)(grid).ok_or_else(|| CoreError::UnknownGrid {
+            stencil: String::new(),
+            grid: grid.to_string(),
+        })?;
+        let shape = (self.shapes)(gi);
+        let strides = row_major_strides(&shape);
+        let key = (gi, map.scale.clone());
+        let class = *self.lookup.entry(key).or_insert_with(|| {
+            let id = self.classes.len() as u32;
+            self.classes.push(AccessClass {
+                grid: gi,
+                scale: map.scale.clone(),
+                strides: strides.clone(),
+            });
+            id
+        });
+        let delta: isize = (0..map.ndim())
+            .map(|d| map.offset[d] as isize * strides[d] as isize)
+            .sum();
+        Ok((class, delta))
+    }
+
+    /// Finish, returning the interned classes.
+    pub fn finish(self) -> Vec<AccessClass> {
+        self.classes
+    }
+}
+
+/// Lower a (pre-simplified) expression into a [`Program`] using `table`
+/// for read addressing.
+pub fn lower_expr(expr: &Expr, table: &mut ClassTable<'_>) -> Result<Program, CoreError> {
+    let mut ops = Vec::with_capacity(expr.size());
+    emit(expr, table, &mut ops)?;
+    let stack_need = measure_stack(&ops);
+    Ok(Program { ops, stack_need })
+}
+
+fn emit(expr: &Expr, table: &mut ClassTable<'_>, ops: &mut Vec<Op>) -> Result<(), CoreError> {
+    match expr {
+        Expr::Const(c) => ops.push(Op::Const(*c)),
+        Expr::Read { grid, map } => {
+            let (class, delta) = table.intern(grid, map)?;
+            ops.push(Op::Read { class, delta });
+        }
+        Expr::Add(a, b) => {
+            emit(a, table, ops)?;
+            emit(b, table, ops)?;
+            ops.push(Op::Add);
+        }
+        Expr::Sub(a, b) => {
+            emit(a, table, ops)?;
+            emit(b, table, ops)?;
+            ops.push(Op::Sub);
+        }
+        Expr::Mul(a, b) => {
+            emit(a, table, ops)?;
+            emit(b, table, ops)?;
+            ops.push(Op::Mul);
+        }
+        Expr::Div(a, b) => {
+            emit(a, table, ops)?;
+            emit(b, table, ops)?;
+            ops.push(Op::Div);
+        }
+        Expr::Neg(a) => {
+            emit(a, table, ops)?;
+            ops.push(Op::Neg);
+        }
+    }
+    Ok(())
+}
+
+fn measure_stack(ops: &[Op]) -> usize {
+    let mut depth = 0usize;
+    let mut max = 0usize;
+    for op in ops {
+        match op {
+            Op::Const(_) | Op::Read { .. } => {
+                depth += 1;
+                max = max.max(depth);
+            }
+            Op::Add | Op::Sub | Op::Mul | Op::Div => depth -= 1,
+            Op::Neg => {}
+        }
+    }
+    debug_assert_eq!(depth, 1, "program must leave exactly one value");
+    max
+}
+
+/// A constant-coefficient linear combination of reads:
+/// `bias + Σ coeff_i · grid[cursor[class_i] + delta_i]`.
+///
+/// Most scientific stencils (constant-coefficient Laplacians, Jacobi
+/// smoothers, restriction, interpolation, boundary negation) lower to this
+/// form; executors run it as a fused multiply-add loop instead of
+/// interpreting bytecode. Variable-coefficient operators (products of two
+/// reads) do not linearize and stay on the bytecode path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinearForm {
+    /// `(class, delta, coeff)` triples.
+    pub terms: Vec<(u32, isize, f64)>,
+    /// Constant bias.
+    pub bias: f64,
+}
+
+/// Try to express a program as a [`LinearForm`]. Returns `None` when the
+/// expression multiplies or divides two read-dependent values.
+pub fn linearize(program: &Program) -> Option<LinearForm> {
+    #[derive(Clone)]
+    struct Sym {
+        bias: f64,
+        terms: Vec<(u32, isize, f64)>,
+    }
+    let mut stack: Vec<Sym> = Vec::with_capacity(program.stack_need);
+    for op in &program.ops {
+        match *op {
+            Op::Const(c) => stack.push(Sym {
+                bias: c,
+                terms: vec![],
+            }),
+            Op::Read { class, delta } => stack.push(Sym {
+                bias: 0.0,
+                terms: vec![(class, delta, 1.0)],
+            }),
+            Op::Add | Op::Sub => {
+                let b = stack.pop()?;
+                let mut a = stack.pop()?;
+                let sign = if matches!(op, Op::Sub) { -1.0 } else { 1.0 };
+                a.bias += sign * b.bias;
+                for (c, d, k) in b.terms {
+                    merge_term(&mut a.terms, c, d, sign * k);
+                }
+                stack.push(a);
+            }
+            Op::Mul => {
+                let b = stack.pop()?;
+                let a = stack.pop()?;
+                let (scalar, mut lin) = if a.terms.is_empty() {
+                    (a.bias, b)
+                } else if b.terms.is_empty() {
+                    (b.bias, a)
+                } else {
+                    return None; // read × read: not linear
+                };
+                lin.bias *= scalar;
+                for t in &mut lin.terms {
+                    t.2 *= scalar;
+                }
+                stack.push(lin);
+            }
+            Op::Div => {
+                let b = stack.pop()?;
+                let mut a = stack.pop()?;
+                if !b.terms.is_empty() {
+                    return None; // divide by a read: not linear
+                }
+                a.bias /= b.bias;
+                for t in &mut a.terms {
+                    t.2 /= b.bias;
+                }
+                stack.push(a);
+            }
+            Op::Neg => {
+                let a = stack.last_mut()?;
+                a.bias = -a.bias;
+                for t in &mut a.terms {
+                    t.2 = -t.2;
+                }
+            }
+        }
+    }
+    let top = stack.pop()?;
+    if !stack.is_empty() {
+        return None;
+    }
+    Some(LinearForm {
+        terms: top.terms,
+        bias: top.bias,
+    })
+}
+
+fn merge_term(terms: &mut Vec<(u32, isize, f64)>, class: u32, delta: isize, coeff: f64) {
+    if let Some(t) = terms.iter_mut().find(|t| t.0 == class && t.1 == delta) {
+        t.2 += coeff;
+    } else {
+        terms.push((class, delta, coeff));
+    }
+}
+
+/// A polynomial (sum-of-products) form:
+/// `bias + Σ coeff_t · Π_r grid[cursor[class_r] + delta_r]`.
+///
+/// Variable-coefficient stencils (products of a coefficient read and a
+/// solution read, e.g. `β·(x₊ − x₀)` or `dinv·(rhs − Ax)`) expand into a
+/// bounded number of such terms; executors evaluate them as flat
+/// multiply-accumulate chains, far cheaper than interpreting bytecode.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PolyForm {
+    /// Constant bias.
+    pub bias: f64,
+    /// `(coeff, reads)` terms; each read is `(class, delta)`.
+    pub terms: Vec<(f64, Vec<(u32, isize)>)>,
+    /// Flattened execution tables (term coefficients, read counts per
+    /// term, and all reads back to back) — the hot loop walks these
+    /// contiguously instead of chasing per-term heap pointers.
+    pub flat_coeffs: Vec<f64>,
+    /// Reads per term, parallel to `flat_coeffs`.
+    pub flat_lens: Vec<u32>,
+    /// All `(class, delta)` reads, term-major.
+    pub flat_reads: Vec<(u32, isize)>,
+}
+
+impl PolyForm {
+    /// Build from structured terms, computing the flat tables.
+    pub fn from_terms(bias: f64, terms: Vec<(f64, Vec<(u32, isize)>)>) -> Self {
+        let flat_coeffs: Vec<f64> = terms.iter().map(|t| t.0).collect();
+        let flat_lens: Vec<u32> = terms.iter().map(|t| t.1.len() as u32).collect();
+        let flat_reads: Vec<(u32, isize)> =
+            terms.iter().flat_map(|t| t.1.iter().copied()).collect();
+        PolyForm {
+            bias,
+            terms,
+            flat_coeffs,
+            flat_lens,
+            flat_reads,
+        }
+    }
+}
+
+/// Expansion guards: refuse pathological blow-ups and fall back to
+/// bytecode instead.
+const POLY_MAX_TERMS: usize = 64;
+const POLY_MAX_DEGREE: usize = 4;
+
+/// Try to expand a program into a [`PolyForm`]. Returns `None` when the
+/// expression divides by a read or the expansion exceeds the guards.
+pub fn polynomialize(program: &Program) -> Option<PolyForm> {
+    struct Build {
+        bias: f64,
+        terms: Vec<(f64, Vec<(u32, isize)>)>,
+    }
+    let mut stack: Vec<Build> = Vec::with_capacity(program.stack_need);
+    for op in &program.ops {
+        match *op {
+            Op::Const(c) => stack.push(Build {
+                bias: c,
+                terms: vec![],
+            }),
+            Op::Read { class, delta } => stack.push(Build {
+                bias: 0.0,
+                terms: vec![(1.0, vec![(class, delta)])],
+            }),
+            Op::Add | Op::Sub => {
+                let b = stack.pop()?;
+                let mut a = stack.pop()?;
+                let sign = if matches!(op, Op::Sub) { -1.0 } else { 1.0 };
+                a.bias += sign * b.bias;
+                for (k, reads) in b.terms {
+                    poly_add_term(&mut a.terms, sign * k, reads);
+                }
+                if a.terms.len() > POLY_MAX_TERMS {
+                    return None;
+                }
+                stack.push(a);
+            }
+            Op::Mul => {
+                let b = stack.pop()?;
+                let a = stack.pop()?;
+                let mut out = Build {
+                    bias: a.bias * b.bias,
+                    terms: vec![],
+                };
+                for (k, reads) in &a.terms {
+                    if b.bias != 0.0 {
+                        poly_add_term(&mut out.terms, k * b.bias, reads.clone());
+                    }
+                }
+                for (k, reads) in &b.terms {
+                    if a.bias != 0.0 {
+                        poly_add_term(&mut out.terms, k * a.bias, reads.clone());
+                    }
+                }
+                for (ka, ra) in &a.terms {
+                    for (kb, rb) in &b.terms {
+                        let mut reads = ra.clone();
+                        reads.extend_from_slice(rb);
+                        if reads.len() > POLY_MAX_DEGREE {
+                            return None;
+                        }
+                        reads.sort_unstable();
+                        poly_add_term(&mut out.terms, ka * kb, reads);
+                    }
+                }
+                if out.terms.len() > POLY_MAX_TERMS {
+                    return None;
+                }
+                stack.push(out);
+            }
+            Op::Div => {
+                let b = stack.pop()?;
+                let mut a = stack.pop()?;
+                if !b.terms.is_empty() {
+                    return None;
+                }
+                a.bias /= b.bias;
+                for t in &mut a.terms {
+                    t.0 /= b.bias;
+                }
+                stack.push(a);
+            }
+            Op::Neg => {
+                let a = stack.last_mut()?;
+                a.bias = -a.bias;
+                for t in &mut a.terms {
+                    t.0 = -t.0;
+                }
+            }
+        }
+    }
+    let top = stack.pop()?;
+    if !stack.is_empty() {
+        return None;
+    }
+    Some(PolyForm::from_terms(top.bias, top.terms))
+}
+
+fn poly_add_term(terms: &mut Vec<(f64, Vec<(u32, isize)>)>, coeff: f64, mut reads: Vec<(u32, isize)>) {
+    reads.sort_unstable();
+    if let Some(t) = terms.iter_mut().find(|t| t.1 == reads) {
+        t.0 += coeff;
+        return;
+    }
+    if coeff != 0.0 {
+        terms.push((coeff, reads));
+    }
+}
+
+/// Evaluate a program with explicit cursors (reference executor; the
+/// backends carry optimized copies of this loop).
+///
+/// # Safety-free reference
+/// This variant takes the grids as slices and bounds-checks; it exists for
+/// tests and the interpreter fallback.
+pub fn eval_checked(
+    program: &Program,
+    classes: &[AccessClass],
+    cursors: &[isize],
+    grids: &[&[f64]],
+) -> f64 {
+    let mut stack = [0.0f64; 32];
+    let mut sp = 0usize;
+    for op in &program.ops {
+        match *op {
+            Op::Const(c) => {
+                stack[sp] = c;
+                sp += 1;
+            }
+            Op::Read { class, delta } => {
+                let cl = &classes[class as usize];
+                let idx = cursors[class as usize] + delta;
+                stack[sp] = grids[cl.grid][idx as usize];
+                sp += 1;
+            }
+            Op::Add => {
+                sp -= 1;
+                stack[sp - 1] += stack[sp];
+            }
+            Op::Sub => {
+                sp -= 1;
+                stack[sp - 1] -= stack[sp];
+            }
+            Op::Mul => {
+                sp -= 1;
+                stack[sp - 1] *= stack[sp];
+            }
+            Op::Div => {
+                sp -= 1;
+                stack[sp - 1] /= stack[sp];
+            }
+            Op::Neg => stack[sp - 1] = -stack[sp - 1],
+        }
+    }
+    debug_assert_eq!(sp, 1);
+    stack[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snowflake_core::Expr;
+
+    fn simple_table_env() -> (Vec<String>, Vec<Vec<usize>>) {
+        (
+            vec!["x".to_string(), "y".to_string()],
+            vec![vec![4, 8], vec![4, 8]],
+        )
+    }
+
+    fn lower(expr: &Expr) -> (Program, Vec<AccessClass>) {
+        let (names, shapes) = simple_table_env();
+        let gi = move |g: &str| names.iter().position(|n| n == g);
+        let sh = move |i: usize| shapes[i].clone();
+        let mut table = ClassTable::new(&gi, &sh);
+        let p = lower_expr(expr, &mut table).unwrap();
+        (p, table.finish())
+    }
+
+    #[test]
+    fn shared_class_for_same_grid_and_scale() {
+        let e = Expr::read_at("x", &[0, 1]) + Expr::read_at("x", &[0, -1])
+            + Expr::read_at("y", &[1, 0]);
+        let (p, classes) = lower(&e);
+        assert_eq!(classes.len(), 2, "x-translation and y-translation");
+        // Deltas: row-major strides of [4,8] are [8,1].
+        let reads: Vec<_> = p
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Read { class, delta } => Some((*class, *delta)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(reads, vec![(0, 1), (0, -1), (1, 8)]);
+    }
+
+    #[test]
+    fn scaled_reads_get_distinct_class() {
+        let e = Expr::read_at("x", &[0, 0])
+            + Expr::read_mapped("x", snowflake_core::AffineMap::scaled(vec![2, 2], vec![0, 1]));
+        let (_, classes) = lower(&e);
+        assert_eq!(classes.len(), 2);
+        assert_eq!(classes[0].scale, vec![1, 1]);
+        assert_eq!(classes[1].scale, vec![2, 2]);
+    }
+
+    #[test]
+    fn stack_need_measured() {
+        // ((a+b)*(c+d)) needs 3 slots with left-to-right RPN... actually
+        // a b + c d + * peaks at 3.
+        let a = Expr::read_at("x", &[0, 0]);
+        let e = (a.clone() + a.clone()) * (a.clone() + a.clone());
+        let (p, _) = lower(&e);
+        assert_eq!(p.stack_need, 3);
+        let (p2, _) = lower(&a);
+        assert_eq!(p2.stack_need, 1);
+    }
+
+    #[test]
+    fn eval_checked_matches_expr_eval() {
+        let e = (Expr::read_at("x", &[0, 1]) - Expr::read_at("y", &[0, 0])) * 2.0 + 1.0;
+        let (p, classes) = lower(&e);
+        // Grids 4x8 filled with linear ramps.
+        let xdata: Vec<f64> = (0..32).map(|i| i as f64).collect();
+        let ydata: Vec<f64> = (0..32).map(|i| (i * 10) as f64).collect();
+        let grids: Vec<&[f64]> = vec![&xdata, &ydata];
+        // Point p = (2, 3): cursors = linear index of p per class (scale 1).
+        let point = [2i64, 3];
+        let strides = [8i64, 1];
+        let lin: isize = (0..2).map(|d| (point[d] * strides[d]) as isize).sum();
+        let cursors = vec![lin; classes.len()];
+        let got = eval_checked(&p, &classes, &cursors, &grids);
+        let want = e.eval(&point, &mut |g, idx| {
+            let lin = (idx[0] * 8 + idx[1]) as usize;
+            if g == "x" {
+                xdata[lin]
+            } else {
+                ydata[lin]
+            }
+        });
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn linearize_laplacian_like_sum() {
+        // 2*x[+1] - 4*x[0] + 2*x[-1] + 1.5
+        let e = 2.0 * Expr::read_at("x", &[0, 1]) - 4.0 * Expr::read_at("x", &[0, 0])
+            + 2.0 * Expr::read_at("x", &[0, -1])
+            + 1.5;
+        let (p, _) = lower(&e);
+        let lf = linearize(&p).expect("linear");
+        assert_eq!(lf.bias, 1.5);
+        assert_eq!(lf.terms.len(), 3);
+        assert!(lf.terms.contains(&(0, 1, 2.0)));
+        assert!(lf.terms.contains(&(0, 0, -4.0)));
+        assert!(lf.terms.contains(&(0, -1, 2.0)));
+    }
+
+    #[test]
+    fn linearize_merges_duplicate_reads() {
+        let e = Expr::read_at("x", &[0, 0]) + Expr::read_at("x", &[0, 0]);
+        let (p, _) = lower(&e);
+        let lf = linearize(&p).unwrap();
+        assert_eq!(lf.terms, vec![(0, 0, 2.0)]);
+    }
+
+    #[test]
+    fn linearize_rejects_read_product() {
+        // beta * x is variable-coefficient: must stay on bytecode.
+        let e = Expr::read_at("y", &[0, 0]) * Expr::read_at("x", &[0, 0]);
+        let (p, _) = lower(&e);
+        assert!(linearize(&p).is_none());
+    }
+
+    #[test]
+    fn linearize_rejects_division_by_read() {
+        let e = Expr::Const(1.0) / Expr::read_at("x", &[0, 0]);
+        let (p, _) = lower(&e);
+        assert!(linearize(&p).is_none());
+    }
+
+    #[test]
+    fn linearize_handles_scalar_products_and_neg() {
+        let e = -((Expr::read_at("x", &[0, 0]) - 3.0) / 2.0);
+        let (p, classes) = lower(&e);
+        let lf = linearize(&p).unwrap();
+        assert_eq!(lf.terms, vec![(0, 0, -0.5)]);
+        assert_eq!(lf.bias, 1.5);
+        // Cross-check against the bytecode evaluation.
+        let data: Vec<f64> = (0..32).map(|i| i as f64).collect();
+        let grids: Vec<&[f64]> = vec![&data];
+        let cursors = vec![7isize; classes.len()];
+        let direct = eval_checked(&p, &classes, &cursors, &grids);
+        let via_lf = lf.bias
+            + lf
+                .terms
+                .iter()
+                .map(|&(c, d, k)| k * data[(cursors[c as usize] + d) as usize])
+                .sum::<f64>();
+        assert!((direct - via_lf).abs() < 1e-15);
+    }
+
+    #[test]
+    fn division_and_negation_lower() {
+        let e = -(Expr::read_at("x", &[0, 0]) / 4.0);
+        let (p, classes) = lower(&e);
+        let data: Vec<f64> = vec![8.0; 32];
+        let grids: Vec<&[f64]> = vec![&data];
+        let cursors = vec![0isize; classes.len()];
+        assert_eq!(eval_checked(&p, &classes, &cursors, &grids), -2.0);
+    }
+}

@@ -1,0 +1,18 @@
+//! # roofline
+//!
+//! Memory-bandwidth measurement and Roofline performance bounds (§V-B of
+//! the Snowflake paper, Figure 6).
+//!
+//! Stencil sweeps are bandwidth-bound, so the paper qualifies every
+//! measurement against a *speed-of-light* bound: the machine's sustained
+//! read-dominated bandwidth divided by the compulsory bytes each stencil
+//! must move. Bandwidth is measured with a **modified STREAM benchmark
+//! using the dot product** (Figure 6), whose access pattern — two read
+//! streams, no stores — approximates the read-dominated traffic of stencil
+//! codes better than the store-heavy classic STREAM kernels.
+
+pub mod model;
+pub mod stream;
+
+pub use model::{Roofline, StencilKind};
+pub use stream::{measure_dot_bandwidth, StreamResult};

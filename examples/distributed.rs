@@ -1,0 +1,104 @@
+//! The §VII distributed-memory prototype: run the same single-source GSRB
+//! sweep on 1, 2, 4 and 8 simulated MPI ranks, verify every decomposition
+//! computes bit-identical results, and inspect the halo-exchange traffic
+//! the schedule implies.
+//!
+//!     cargo run --release --example distributed
+
+use snowflake::backends::dist::DistBackend;
+use snowflake::backends::SequentialBackend;
+use snowflake::prelude::*;
+
+fn main() {
+    let n = 66usize; // 64 interior + ghosts
+
+    // One GSRB smooth in 3-D: faces + red + faces + black (constant β).
+    let gsrb_update = || {
+        let x = |o: [i64; 3]| Expr::read_at("x", &o);
+        let ax = 6.0 * x([0, 0, 0])
+            - x([1, 0, 0]) - x([-1, 0, 0])
+            - x([0, 1, 0]) - x([0, -1, 0])
+            - x([0, 0, 1]) - x([0, 0, -1]);
+        x([0, 0, 0]) + Expr::Const(1.0 / 6.0) * (Expr::read_at("rhs", &[0, 0, 0]) - ax)
+    };
+    let faces = || -> Vec<Stencil> {
+        let mut out = Vec::new();
+        for d in 0..3usize {
+            for (pin, inward) in [(0i64, 1i64), (-1, -1)] {
+                let mut lo = [1i64; 3];
+                let mut hi = [-1i64; 3];
+                let mut stride = [1i64; 3];
+                lo[d] = pin;
+                hi[d] = pin;
+                stride[d] = 0;
+                let mut off = [0i64; 3];
+                off[d] = inward;
+                out.push(Stencil::new(
+                    Expr::Neg(Box::new(Expr::read_at("x", &off))),
+                    "x",
+                    RectDomain::new(&lo, &hi, &stride),
+                ));
+            }
+        }
+        out
+    };
+    let (red, black) = DomainUnion::red_black(3);
+    let mut sweep = StencilGroup::new();
+    for f in faces() {
+        sweep.push(f);
+    }
+    sweep.push(Stencil::new(gsrb_update(), "x", red).named("red"));
+    for f in faces() {
+        sweep.push(f);
+    }
+    sweep.push(Stencil::new(gsrb_update(), "x", black).named("black"));
+
+    let make = || {
+        let mut gs = GridSet::new();
+        let mut x = Grid::new(&[n, n, n]);
+        x.fill_random(7, -1.0, 1.0);
+        gs.insert("x", x);
+        let mut rhs = Grid::new(&[n, n, n]);
+        rhs.fill_random(8, -1.0, 1.0);
+        gs.insert("rhs", rhs);
+        gs
+    };
+
+    // Reference: the sequential backend.
+    let mut reference = make();
+    let shapes = reference.shapes();
+    SequentialBackend::new()
+        .compile(&sweep, &shapes)
+        .unwrap()
+        .run(&mut reference)
+        .unwrap();
+
+    println!(
+        "{:>6}  {:>10}  {:>14}  {:>12}  {:>8}",
+        "ranks", "messages", "halo bytes", "max |Δ| vs seq", "time"
+    );
+    for ranks in [1usize, 2, 4, 8] {
+        let mut grids = make();
+        let exe = DistBackend::new(ranks)
+            .compile_dist(&sweep, &shapes)
+            .expect("compile");
+        let t0 = std::time::Instant::now();
+        exe.run(&mut grids).expect("run");
+        let dt = t0.elapsed();
+        let stats = exe.comm_stats();
+        let diff = reference
+            .get("x")
+            .unwrap()
+            .max_abs_diff(grids.get("x").unwrap());
+        println!(
+            "{ranks:>6}  {:>10}  {:>14}  {:>12.1e}  {dt:>8.2?}",
+            stats.messages, stats.bytes, diff
+        );
+        assert_eq!(diff, 0.0, "decomposition must not change results");
+    }
+    println!(
+        "\nEach rank executed its slab of every phase, exchanging only the\n\
+         one-row halos of the written grid between phases — the schedule a\n\
+         real MPI port (one rank per NUMA node, §VII) would run verbatim."
+    );
+}

@@ -1,0 +1,75 @@
+//! Higher-order operators (§II: "higher-order operators (larger
+//! stencils)"): the same DSL pipeline runs 2nd-, 4th- and 6th-order
+//! Laplacians — only the weight array changes — and the measured
+//! truncation error shrinks at the theoretical rate.
+//!
+//!     cargo run --release --example higher_order
+
+use snowflake::core::ops::{laplacian, Order};
+use snowflake::prelude::*;
+
+/// Apply an `order`-accurate 2-D Laplacian to u(x,y)=sin(πx)sin(πy) on an
+/// n×n mesh and return the max truncation error against Δu = −2π²u.
+fn truncation_error(order: Order, n: usize, backend: &dyn Backend) -> f64 {
+    use std::f64::consts::PI;
+    let reach = order.reach();
+    let h = 1.0 / (n - 1) as f64;
+    let u = |i: usize, j: usize| (PI * i as f64 * h).sin() * (PI * j as f64 * h).sin();
+
+    let mut grids = GridSet::new();
+    grids.insert("u", Grid::from_fn(&[n, n], |p| u(p[0], p[1])));
+    grids.insert("lap", Grid::new(&[n, n]));
+
+    // Interior shrinks with the stencil reach; the rest of the program is
+    // order-independent.
+    let dom = RectDomain::new(&[reach, reach], &[-reach, -reach], &[1, 1]);
+    let stencil = Stencil::new(
+        Component::new("u", laplacian(2, order)).expand() * Expr::Const(1.0 / (h * h)),
+        "lap",
+        dom,
+    );
+    let exe = backend
+        .compile(&StencilGroup::from(stencil), &grids.shapes())
+        .expect("compile");
+    exe.run(&mut grids).expect("run");
+
+    let lap = grids.get("lap").unwrap();
+    let mut err = 0.0f64;
+    for i in reach as usize..n - reach as usize {
+        for j in reach as usize..n - reach as usize {
+            let exact = -2.0 * PI * PI * u(i, j);
+            err = err.max((lap.get(&[i, j]) - exact).abs());
+        }
+    }
+    err
+}
+
+fn main() {
+    let backend = OmpBackend::new();
+    println!("max truncation error of the DSL-generated Laplacian on sin(πx)sin(πy):\n");
+    println!("{:>6}  {:>12}  {:>12}  {:>12}", "n", "2nd order", "4th order", "6th order");
+    let mut prev: Option<[f64; 3]> = None;
+    for n in [17usize, 33, 65, 129] {
+        let errs = [
+            truncation_error(Order::Second, n, &backend),
+            truncation_error(Order::Fourth, n, &backend),
+            truncation_error(Order::Sixth, n, &backend),
+        ];
+        print!("{n:>6}  {:>12.3e}  {:>12.3e}  {:>12.3e}", errs[0], errs[1], errs[2]);
+        if let Some(p) = prev {
+            print!(
+                "   (ratios: {:.1}x, {:.1}x, {:.1}x)",
+                p[0] / errs[0],
+                p[1] / errs[1],
+                p[2] / errs[2]
+            );
+        }
+        println!();
+        prev = Some(errs);
+    }
+    println!(
+        "\nHalving h divides the error by ~4 (2nd), ~16 (4th) and ~64 (6th):\n\
+         the larger stencils flow through the identical analysis, lowering\n\
+         and backends — only the WeightArray changed."
+    );
+}
