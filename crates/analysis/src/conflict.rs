@@ -154,7 +154,12 @@ mod tests {
         ));
         // A shrunken interior starting at column 2 does NOT reach it.
         let inner = region(&[1, 2], &[n - 1, n - 1], &[1, 1]);
-        assert!(!access_conflict(&ghost_left, &id, &inner, &translate(&[0, -1])));
+        assert!(!access_conflict(
+            &ghost_left,
+            &id,
+            &inner,
+            &translate(&[0, -1])
+        ));
     }
 
     #[test]

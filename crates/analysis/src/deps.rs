@@ -93,9 +93,7 @@ pub fn is_parallel_safe(rs: &ResolvedStencil) -> bool {
             }
             // Across distinct rectangles of the union: any aliasing counts.
             for r2 in rs.regions.iter().skip(i + 1) {
-                if access_conflict(r1, &wmap, r2, rmap)
-                    || access_conflict(r2, &wmap, r1, rmap)
-                {
+                if access_conflict(r1, &wmap, r2, rmap) || access_conflict(r2, &wmap, r1, rmap) {
                     return false;
                 }
             }
@@ -144,12 +142,7 @@ pub fn depends(a: &ResolvedStencil, b: &ResolvedStencil) -> Option<DepKind> {
     None
 }
 
-fn regions_conflict(
-    rs1: &[Region],
-    m1: &AffineMap,
-    rs2: &[Region],
-    m2: &AffineMap,
-) -> bool {
+fn regions_conflict(rs1: &[Region], m1: &AffineMap, rs2: &[Region], m2: &AffineMap) -> bool {
     rs1.iter()
         .any(|r1| rs2.iter().any(|r2| access_conflict(r1, m1, r2, m2)))
 }
@@ -209,12 +202,8 @@ mod tests {
         // Figure 3b: a 3×3-neighborhood in-place update is NOT safe on a
         // red/black coloring (diagonal reads hit the same color), but IS
         // safe on each class of the 4-color tiling.
-        let nine_point = Component::new(
-            "x",
-            weights2![[1, 1, 1], [1, 1, 1], [1, 1, 1]],
-        )
-        .expand()
-            * (1.0 / 9.0);
+        let nine_point =
+            Component::new("x", weights2![[1, 1, 1], [1, 1, 1], [1, 1, 1]]).expand() * (1.0 / 9.0);
         let (red, _) = DomainUnion::red_black(2);
         let rb = resolved(Stencil::new(nine_point.clone(), "x", red), 16);
         assert!(
@@ -279,11 +268,7 @@ mod tests {
         // scheduler may run all four concurrently (the finite-domain win).
         let n = 16usize;
         let mk = |dom: RectDomain, off: [i64; 2]| {
-            Stencil::new(
-                Expr::Neg(Box::new(Expr::read_at("x", &off))),
-                "x",
-                dom,
-            )
+            Stencil::new(Expr::Neg(Box::new(Expr::read_at("x", &off))), "x", dom)
         };
         let faces = vec![
             mk(RectDomain::new(&[0, 1], &[0, -1], &[0, 1]), [1, 0]),

@@ -135,13 +135,7 @@ pub fn solve_pair(r1: StridedRange, r2: StridedRange) -> Option<(i128, i128)> {
 
 /// Intersect `[lo, hi]` (as bounds on `t`) with `lo_v <= coef·t <= hi_v`.
 /// Returns `None` when `coef == 0` and the constant constraint fails.
-fn clamp_param(
-    tlo: &mut i128,
-    thi: &mut i128,
-    coef: i128,
-    lo_v: i128,
-    hi_v: i128,
-) -> Option<()> {
+fn clamp_param(tlo: &mut i128, thi: &mut i128, coef: i128, lo_v: i128, hi_v: i128) -> Option<()> {
     if coef == 0 {
         // Constraint is 0 in [lo_v, hi_v].
         if lo_v > 0 || hi_v < 0 {

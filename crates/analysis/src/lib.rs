@@ -34,8 +34,8 @@ pub mod report;
 pub mod schedule;
 
 pub use conflict::{access_conflict, regions_overlap, self_conflict};
-pub use report::report;
 pub use deps::{depends, is_parallel_safe, writes_disjoint, DepKind, ResolvedStencil};
+pub use report::report;
 pub use schedule::{
     dead_stencils, dependence_dag, fusible_pairs, greedy_phases, reorder_minimize_barriers,
     Schedule,

@@ -57,10 +57,7 @@ pub fn report(stencils: &[ResolvedStencil]) -> String {
         sched.num_barriers()
     );
     for (p, phase) in sched.phases.iter().enumerate() {
-        let names: Vec<&str> = phase
-            .iter()
-            .map(|&i| stencils[i].stencil.name())
-            .collect();
+        let names: Vec<&str> = phase.iter().map(|&i| stencils[i].stencil.name()).collect();
         let _ = writeln!(out, "  phase {p}: {names:?}");
     }
 

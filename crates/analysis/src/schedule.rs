@@ -95,9 +95,7 @@ pub fn reorder_minimize_barriers(stencils: &[ResolvedStencil]) -> Schedule {
     let mut remaining = n;
     while remaining > 0 {
         // Ready = all predecessors scheduled in earlier phases.
-        let ready: Vec<usize> = (0..n)
-            .filter(|&j| !scheduled[j] && preds[j] == 0)
-            .collect();
+        let ready: Vec<usize> = (0..n).filter(|&j| !scheduled[j] && preds[j] == 0).collect();
         assert!(!ready.is_empty(), "dependence DAG must be acyclic");
         // Keep program order inside the phase; drop candidates that
         // conflict with an earlier member of this same phase.
@@ -128,10 +126,7 @@ pub fn reorder_minimize_barriers(stencils: &[ResolvedStencil]) -> Schedule {
 /// a backend may merge their bodies into one loop nest, halving traversal
 /// overhead and improving locality. (Same-phase membership already implies
 /// independence.)
-pub fn fusible_pairs(
-    stencils: &[ResolvedStencil],
-    schedule: &Schedule,
-) -> Vec<(usize, usize)> {
+pub fn fusible_pairs(stencils: &[ResolvedStencil], schedule: &Schedule) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
     for phase in &schedule.phases {
         for (a_pos, &i) in phase.iter().enumerate() {

@@ -18,9 +18,10 @@ use std::sync::OnceLock;
 
 use snowflake_core::{CoreError, Result, ShapeMap, StencilGroup};
 use snowflake_grid::GridSet;
-use snowflake_ir::{lower_group, Lowered, LowerOptions};
+use snowflake_ir::{lower_group, LowerOptions, Lowered};
 
 use crate::codegen_c::emit_c;
+use crate::metrics::RunReport;
 use crate::{check_and_ptrs, Backend, Executable};
 
 static COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -55,13 +56,11 @@ impl CJitBackend {
     /// Is a working C compiler present on this machine?
     pub fn available() -> bool {
         *availability().get_or_init(|| {
-            Command::new(
-                std::env::var("SNOWFLAKE_CC").unwrap_or_else(|_| "cc".to_string()),
-            )
-            .arg("--version")
-            .output()
-            .map(|o| o.status.success())
-            .unwrap_or(false)
+            Command::new(std::env::var("SNOWFLAKE_CC").unwrap_or_else(|_| "cc".to_string()))
+                .arg("--version")
+                .output()
+                .map(|o| o.status.success())
+                .unwrap_or(false)
         })
     }
 
@@ -71,7 +70,10 @@ impl CJitBackend {
             let dir = std::env::temp_dir();
             let id = COUNTER.fetch_add(1, Ordering::Relaxed);
             let src = dir.join(format!("snowflake_omp_probe_{}_{id}.c", std::process::id()));
-            let out = dir.join(format!("snowflake_omp_probe_{}_{id}.so", std::process::id()));
+            let out = dir.join(format!(
+                "snowflake_omp_probe_{}_{id}.so",
+                std::process::id()
+            ));
             let ok = std::fs::write(
                 &src,
                 "#include <omp.h>\nint snowflake_probe(void){return omp_get_max_threads();}\n",
@@ -182,6 +184,30 @@ impl Executable for CJitExecutable {
         // generated code only touches indices proven in bounds, with the
         // OpenMP schedule mirroring the analysis verdicts.
         unsafe { (self.entry)(ptrs.as_mut_ptr()) };
+        Ok(())
+    }
+
+    fn run_with_report(&self, grids: &mut GridSet, report: &mut RunReport) -> Result<()> {
+        // The entry point is an opaque native call — the C code contains
+        // the barriers, so per-phase timing is unobservable from here. The
+        // whole run is reported as one phase; dispatch counters come
+        // statically from the lowered schedule the C was generated from.
+        report.set_backend("cjit");
+        let t0 = std::time::Instant::now();
+        self.run(grids)?;
+        let dt = t0.elapsed().as_secs_f64();
+        report.record_phase(0, dt, self.lowered.phases.len() as u64);
+        for kernel in &self.lowered.kernels {
+            let dispatches = kernel.regions.len() as u64;
+            report.kernels.tiles += dispatches;
+            if kernel.parallel_safe {
+                report.kernels.parallel_tasks += dispatches;
+            } else {
+                report.kernels.sequential_tasks += dispatches;
+            }
+        }
+        report.kernels.points += self.points_per_run();
+        report.finish_run(dt);
         Ok(())
     }
 

@@ -28,11 +28,14 @@ use rayon::prelude::*;
 
 use snowflake_core::{CoreError, Result, ShapeMap, StencilGroup};
 use snowflake_grid::{Grid, GridSet};
-use snowflake_ir::{intersect_box, lower_group, Lowered, LowerOptions};
+use snowflake_ir::{intersect_box, lower_group, LowerOptions, Lowered};
 
 use crate::exec::{check_limits, run_kernel_region};
+use crate::metrics::RunReport;
 use crate::view::GridPtrs;
 use crate::{Backend, Executable};
+
+pub use crate::metrics::CommStats;
 
 /// Simulated-MPI backend: rank-decomposed execution with halo exchange.
 #[derive(Clone, Debug)]
@@ -52,15 +55,6 @@ impl DistBackend {
             options: LowerOptions::default(),
         }
     }
-}
-
-/// Communication statistics of one executable (cumulative over runs).
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct CommStats {
-    /// Halo messages sent.
-    pub messages: u64,
-    /// Halo payload bytes.
-    pub bytes: u64,
 }
 
 /// The compiled SPMD program (see module docs).
@@ -89,11 +83,7 @@ impl Backend for DistBackend {
 impl DistBackend {
     /// As [`Backend::compile`], returning the concrete executable so
     /// callers can read [`DistExecutable::comm_stats`].
-    pub fn compile_dist(
-        &self,
-        group: &StencilGroup,
-        shapes: &ShapeMap,
-    ) -> Result<DistExecutable> {
+    pub fn compile_dist(&self, group: &StencilGroup, shapes: &ShapeMap) -> Result<DistExecutable> {
         let lowered = lower_group(group, shapes, &self.options)?;
         for k in &lowered.kernels {
             check_limits(k)?;
@@ -147,12 +137,7 @@ impl DistBackend {
 
         let ranks = self.ranks.min(n0.max(1));
         let bounds: Vec<(i64, i64)> = (0..ranks)
-            .map(|r| {
-                (
-                    (r * n0 / ranks) as i64,
-                    ((r + 1) * n0 / ranks) as i64,
-                )
-            })
+            .map(|r| ((r * n0 / ranks) as i64, ((r + 1) * n0 / ranks) as i64))
             .collect();
         let written = lowered
             .phases
@@ -201,11 +186,18 @@ impl DistExecutable {
     }
 }
 
-impl Executable for DistExecutable {
+impl DistExecutable {
+    /// Shared execution path; instrumentation only observes, so `run` and
+    /// `run_with_report` compute bitwise-identical results.
     #[allow(clippy::needless_range_loop)] // rank index addresses bounds AND locals
-    fn run(&self, grids: &mut GridSet) -> Result<()> {
+    fn run_impl(&self, grids: &mut GridSet, mut report: Option<&mut RunReport>) -> Result<()> {
         // Verify shapes and build the rank-local grid sets (scatter).
-        for (name, shape) in self.lowered.grid_names.iter().zip(&self.lowered.grid_shapes) {
+        for (name, shape) in self
+            .lowered
+            .grid_names
+            .iter()
+            .zip(&self.lowered.grid_shapes)
+        {
             let g = grids.get(name).ok_or_else(|| CoreError::UnknownGrid {
                 stencil: String::new(),
                 grid: name.clone(),
@@ -228,6 +220,7 @@ impl Executable for DistExecutable {
 
         let mut stats = CommStats::default();
         for (pi, phase) in self.lowered.phases.iter().enumerate() {
+            let t0 = report.as_ref().map(|_| std::time::Instant::now());
             // SPMD compute: every rank runs its slab of the phase.
             locals.par_iter_mut().enumerate().for_each(|(r, local)| {
                 let (lo, hi) = self.bounds[r];
@@ -267,29 +260,30 @@ impl Executable for DistExecutable {
                     // and my bottom boundary rows to rank r-1's upper halo.
                     if r + 1 < self.ranks {
                         let (src, rest) = locals.split_at_mut(r + 1);
-                        let bytes = Self::copy_rows(
-                            shape,
-                            &src[r][gi],
-                            &mut rest[0][gi],
-                            hi - h,
-                            hi,
-                        );
+                        let bytes =
+                            Self::copy_rows(shape, &src[r][gi], &mut rest[0][gi], hi - h, hi);
                         stats.messages += 1;
                         stats.bytes += bytes;
                     }
                     if r > 0 {
                         let (dst, src) = locals.split_at_mut(r);
-                        let bytes = Self::copy_rows(
-                            shape,
-                            &src[0][gi],
-                            &mut dst[r - 1][gi],
-                            lo,
-                            lo + h,
-                        );
+                        let bytes =
+                            Self::copy_rows(shape, &src[0][gi], &mut dst[r - 1][gi], lo, lo + h);
                         stats.messages += 1;
                         stats.bytes += bytes;
                     }
                 }
+            }
+
+            if let (Some(r), Some(t0)) = (report.as_deref_mut(), t0) {
+                // One slab task per (rank, kernel); the phase time covers
+                // both the SPMD compute and the halo exchange behind it.
+                let slabs = (self.ranks * phase.len()) as u64;
+                r.record_phase(pi, t0.elapsed().as_secs_f64(), slabs);
+                r.kernels.tiles += slabs;
+                // compile_dist rejects non-parallel-safe kernels, so every
+                // slab dispatch here is a parallel one.
+                r.kernels.parallel_tasks += slabs;
             }
         }
 
@@ -307,6 +301,25 @@ impl Executable for DistExecutable {
             total.messages += stats.messages;
             total.bytes += stats.bytes;
         }
+        if let Some(r) = report {
+            r.comm.messages += stats.messages;
+            r.comm.bytes += stats.bytes;
+        }
+        Ok(())
+    }
+}
+
+impl Executable for DistExecutable {
+    fn run(&self, grids: &mut GridSet) -> Result<()> {
+        self.run_impl(grids, None)
+    }
+
+    fn run_with_report(&self, grids: &mut GridSet, report: &mut RunReport) -> Result<()> {
+        report.set_backend("dist");
+        let t0 = std::time::Instant::now();
+        self.run_impl(grids, Some(report))?;
+        report.kernels.points += self.points_per_run();
+        report.finish_run(t0.elapsed().as_secs_f64());
         Ok(())
     }
 
@@ -450,7 +463,11 @@ mod tests {
             "fine",
             snowflake_core::AffineMap::scaled(vec![2, 2, 2], vec![0, 0, 0]),
         );
-        let s = Stencil::new(e, "coarse", RectDomain::new(&[0, 0, 0], &[4, 4, 4], &[1, 1, 1]));
+        let s = Stencil::new(
+            e,
+            "coarse",
+            RectDomain::new(&[0, 0, 0], &[4, 4, 4], &[1, 1, 1]),
+        );
         let err = DistBackend::new(2)
             .compile(&StencilGroup::from(s), &gs.shapes())
             .err()
@@ -499,7 +516,11 @@ mod tests {
             .run(&mut b)
             .unwrap();
         for g in ["x", "y"] {
-            assert_eq!(a.get(g).unwrap().max_abs_diff(b.get(g).unwrap()), 0.0, "{g}");
+            assert_eq!(
+                a.get(g).unwrap().max_abs_diff(b.get(g).unwrap()),
+                0.0,
+                "{g}"
+            );
         }
     }
 

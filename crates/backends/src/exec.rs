@@ -13,9 +13,9 @@
 
 #![allow(clippy::needless_range_loop)] // cursor bumps index parallel fixed arrays
 
+use snowflake_grid::Region;
 use snowflake_ir::bytecode::LinearForm;
 use snowflake_ir::{LoweredKernel, Op};
-use snowflake_grid::Region;
 
 use crate::view::GridPtrs;
 
@@ -89,32 +89,49 @@ pub unsafe fn run_kernel_region(kernel: &LoweredKernel, view: &GridPtrs<'_>, reg
         // chunked read-all-then-write-all order is safe exactly because
         // the Diophantine analysis proved no iteration reads another
         // iteration's write.)
-        let unit = kernel.parallel_safe
-            && out_step == 1
-            && inner_step[..ncls].iter().all(|&st| st == 1);
+        let unit =
+            kernel.parallel_safe && out_step == 1 && inner_step[..ncls].iter().all(|&st| st == 1);
         if let Some(lf) = &kernel.linear {
             if unit {
                 run_row_linear_unit(lf, view, &cur, &class_grid, e_last, out_grid, out_idx);
             } else {
-                run_row_linear(lf, view, &mut cur, &class_grid, &inner_step, ncls, e_last, {
-                    RowOut {
-                        grid: out_grid,
-                        idx: &mut out_idx,
-                        step: out_step,
-                    }
-                });
+                run_row_linear(
+                    lf,
+                    view,
+                    &mut cur,
+                    &class_grid,
+                    &inner_step,
+                    ncls,
+                    e_last,
+                    {
+                        RowOut {
+                            grid: out_grid,
+                            idx: &mut out_idx,
+                            step: out_step,
+                        }
+                    },
+                );
             }
         } else if let Some(pf) = &kernel.poly {
             if unit {
                 run_row_poly_unit(pf, view, &cur, &class_grid, e_last, out_grid, out_idx);
             } else {
-                run_row_poly(pf, view, &mut cur, &class_grid, &inner_step, ncls, e_last, {
-                    RowOut {
-                        grid: out_grid,
-                        idx: &mut out_idx,
-                        step: out_step,
-                    }
-                });
+                run_row_poly(
+                    pf,
+                    view,
+                    &mut cur,
+                    &class_grid,
+                    &inner_step,
+                    ncls,
+                    e_last,
+                    {
+                        RowOut {
+                            grid: out_grid,
+                            idx: &mut out_idx,
+                            step: out_step,
+                        }
+                    },
+                );
             }
         } else {
             for _ in 0..e_last {
@@ -161,11 +178,7 @@ struct RowOut<'a> {
 /// As [`run_kernel_region`], for every kernel; additionally the kernels
 /// must be mutually independent (same barrier phase), so any interleaving
 /// of their iterations is legal.
-pub unsafe fn run_fused_region(
-    kernels: &[&LoweredKernel],
-    view: &GridPtrs<'_>,
-    region: &Region,
-) {
+pub unsafe fn run_fused_region(kernels: &[&LoweredKernel], view: &GridPtrs<'_>, region: &Region) {
     if region.is_empty() || kernels.is_empty() {
         return;
     }
@@ -532,9 +545,7 @@ mod tests {
             let mut want = Grid::new(&[n, n]);
             let region = RectDomain::interior(2).resolve(&[n, n]).unwrap();
             for p in region.points() {
-                let v = expr.eval(&p, &mut |_, idx| {
-                    x.get(&[idx[0] as usize, idx[1] as usize])
-                });
+                let v = expr.eval(&p, &mut |_, idx| x.get(&[idx[0] as usize, idx[1] as usize]));
                 want.set(&[p[0] as usize, p[1] as usize], v);
             }
             want
@@ -555,7 +566,10 @@ mod tests {
         let group = StencilGroup::from(s);
         let lowered = lower_group(&group, &gs.shapes(), &LowerOptions::default()).unwrap();
         assert!(lowered.kernels[0].linear.is_none(), "must not linearize");
-        let (x, beta) = (gs.get("x").unwrap().clone(), gs.get("beta").unwrap().clone());
+        let (x, beta) = (
+            gs.get("x").unwrap().clone(),
+            gs.get("beta").unwrap().clone(),
+        );
         run_one(&group, &mut gs);
         let y = gs.get("y").unwrap();
         for i in 1..n - 1 {
@@ -579,7 +593,9 @@ mod tests {
         let y = gs.get("y").unwrap();
         for i in 1..n - 1 {
             for j in 1..n - 1 {
-                let want = x.get(&[i - 1, j]) + x.get(&[i + 1, j]) + x.get(&[i, j - 1])
+                let want = x.get(&[i - 1, j])
+                    + x.get(&[i + 1, j])
+                    + x.get(&[i, j - 1])
                     + x.get(&[i, j + 1])
                     - 4.0 * x.get(&[i, j]);
                 assert!((y.get(&[i, j]) - want).abs() < 1e-15);
@@ -616,7 +632,8 @@ mod tests {
         // x[p] = x[p-1] over 1-D: serial semantics propagate the first cell.
         let mut gs = GridSet::new();
         let mut x = Grid::new(&[6]);
-        x.as_mut_slice().copy_from_slice(&[9.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        x.as_mut_slice()
+            .copy_from_slice(&[9.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
         gs.insert("x", x);
         let s = Stencil::new(
             Expr::read_at("x", &[-1]),

@@ -30,6 +30,7 @@ pub mod codegen_ocl;
 pub mod dist;
 pub mod exec;
 pub mod interp;
+pub mod metrics;
 pub mod oclsim;
 pub mod omp;
 pub mod seq;
@@ -42,6 +43,7 @@ pub use cache::CompileCache;
 pub use cjit::CJitBackend;
 pub use dist::DistBackend;
 pub use interp::InterpreterBackend;
+pub use metrics::{CacheStats, CommStats, KernelCounters, PhaseSample, RunReport};
 pub use oclsim::OclSimBackend;
 pub use omp::OmpBackend;
 pub use seq::SequentialBackend;
@@ -56,6 +58,24 @@ pub trait Executable: Send + Sync {
 
     /// Iteration points per run (for stencils/s reporting).
     fn points_per_run(&self) -> u64;
+
+    /// As [`Executable::run`], additionally accumulating a profile into
+    /// `report` (see [`metrics::RunReport`]).
+    ///
+    /// The default implementation times the whole run as a single phase,
+    /// so third-party executables stay source-compatible; every built-in
+    /// backend overrides it with per-barrier-phase timing and kernel
+    /// counters. Implementations must compute **bitwise-identical grid
+    /// results** to `run` — instrumentation only observes.
+    fn run_with_report(&self, grids: &mut GridSet, report: &mut RunReport) -> Result<()> {
+        let t0 = std::time::Instant::now();
+        self.run(grids)?;
+        let dt = t0.elapsed().as_secs_f64();
+        report.record_phase(0, dt, 1);
+        report.kernels.points += self.points_per_run();
+        report.finish_run(dt);
+        Ok(())
+    }
 }
 
 /// A micro-compiler: turns a stencil group plus concrete shapes into an
@@ -78,6 +98,21 @@ pub fn compile_and_run(
 ) -> Result<()> {
     let exe = backend.compile(group, &grids.shapes())?;
     exe.run(grids)
+}
+
+/// As [`compile_and_run`], profiling both halves into `report`: the
+/// compile lands in `compile_seconds`, the execution in the phase table.
+pub fn compile_and_run_with_report(
+    backend: &dyn Backend,
+    group: &StencilGroup,
+    grids: &mut GridSet,
+    report: &mut RunReport,
+) -> Result<()> {
+    let t0 = std::time::Instant::now();
+    let exe = backend.compile(group, &grids.shapes())?;
+    report.compile_seconds += t0.elapsed().as_secs_f64();
+    report.set_backend(backend.name());
+    exe.run_with_report(grids, report)
 }
 
 /// Verify at run time that a grid set matches the shapes a group was

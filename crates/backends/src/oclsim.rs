@@ -15,9 +15,10 @@ use rayon::prelude::*;
 
 use snowflake_core::{Result, ShapeMap, StencilGroup};
 use snowflake_grid::{GridSet, Region};
-use snowflake_ir::{lower_group, tile_region, Lowered, LowerOptions};
+use snowflake_ir::{lower_group, tile_region, LowerOptions, Lowered};
 
 use crate::exec::{check_limits, run_kernel_region};
+use crate::metrics::RunReport;
 use crate::view::GridPtrs;
 use crate::{check_and_ptrs, Backend, Executable};
 
@@ -102,7 +103,10 @@ impl Backend for OclSimBackend {
                     // dims whole so the work-group rolls through them.
                     let tile = tall_skinny_tile(kernel.ndim, self.workgroup);
                     for t in tile_region(region, &tile) {
-                        tasks.push(OclTask { kernel: ki, region: t });
+                        tasks.push(OclTask {
+                            kernel: ki,
+                            region: t,
+                        });
                     }
                 }
             }
@@ -125,11 +129,14 @@ fn tall_skinny_tile(ndim: usize, wg: WorkGroupShape) -> Vec<i64> {
     tile
 }
 
-impl Executable for OclExecutable {
-    fn run(&self, grids: &mut GridSet) -> Result<()> {
+impl OclExecutable {
+    /// Shared execution path; instrumentation only observes, so `run` and
+    /// `run_with_report` compute bitwise-identical results.
+    fn run_impl(&self, grids: &mut GridSet, mut report: Option<&mut RunReport>) -> Result<()> {
         let (ptrs, lens) = check_and_ptrs(&self.lowered, grids)?;
         let view = GridPtrs::new(&ptrs, &lens);
-        for phase in &self.phases {
+        for (pi, phase) in self.phases.iter().enumerate() {
+            let t0 = report.as_ref().map(|_| std::time::Instant::now());
             // Every phase is one "kernel launch batch"; the join is the
             // inter-launch dependency the OpenCL queue would enforce.
             // SAFETY: see module docs; disjointness established statically.
@@ -137,7 +144,33 @@ impl Executable for OclExecutable {
                 let kernel = &self.lowered.kernels[task.kernel];
                 unsafe { run_kernel_region(kernel, &view, &task.region) };
             });
+            if let (Some(r), Some(t0)) = (report.as_deref_mut(), t0) {
+                r.record_phase(pi, t0.elapsed().as_secs_f64(), phase.len() as u64);
+                for task in phase {
+                    r.kernels.tiles += 1;
+                    if self.lowered.kernels[task.kernel].parallel_safe {
+                        r.kernels.parallel_tasks += 1;
+                    } else {
+                        r.kernels.sequential_tasks += 1;
+                    }
+                }
+            }
         }
+        Ok(())
+    }
+}
+
+impl Executable for OclExecutable {
+    fn run(&self, grids: &mut GridSet) -> Result<()> {
+        self.run_impl(grids, None)
+    }
+
+    fn run_with_report(&self, grids: &mut GridSet, report: &mut RunReport) -> Result<()> {
+        report.set_backend("oclsim");
+        let t0 = std::time::Instant::now();
+        self.run_impl(grids, Some(report))?;
+        report.kernels.points += self.points_per_run();
+        report.finish_run(t0.elapsed().as_secs_f64());
         Ok(())
     }
 

@@ -19,9 +19,10 @@ use rayon::prelude::*;
 
 use snowflake_core::{Result, ShapeMap, StencilGroup};
 use snowflake_grid::{GridSet, Region};
-use snowflake_ir::{intersect_box, lower_group, tile_region, Lowered, LowerOptions};
+use snowflake_ir::{intersect_box, lower_group, tile_region, LowerOptions, Lowered};
 
 use crate::exec::{check_limits, run_fused_region, run_kernel_region};
+use crate::metrics::RunReport;
 use crate::view::GridPtrs;
 use crate::{check_and_ptrs, Backend, Executable};
 
@@ -192,8 +193,7 @@ impl Backend for OmpBackend {
                     Some(t) => fit_tile(t, kernel.ndim),
                     None => default_tile(kernel.ndim, &kernel.regions, threads),
                 };
-                if self.omp.multicolor_reorder && kernel.regions.len() > 1 && group_ids.len() == 1
-                {
+                if self.omp.multicolor_reorder && kernel.regions.len() > 1 && group_ids.len() == 1 {
                     tasks.extend(multicolor_tasks(group_ids[0], &kernel.regions, &tile));
                 } else {
                     for region in &kernel.regions {
@@ -237,7 +237,12 @@ fn fit_tile(tile: &[i64], ndim: usize) -> Vec<i64> {
 /// Default tiling: chunk the outermost dimension into about 4 tasks per
 /// thread; keep inner dimensions whole (unit-stride runs stay long).
 fn default_tile(ndim: usize, regions: &[Region], threads: usize) -> Vec<i64> {
-    let max_outer = regions.iter().map(|r| r.extent(0)).max().unwrap_or(1).max(1);
+    let max_outer = regions
+        .iter()
+        .map(|r| r.extent(0))
+        .max()
+        .unwrap_or(1)
+        .max(1);
     let want_tasks = (threads * 4) as i64;
     let chunk = (max_outer + want_tasks - 1) / want_tasks;
     let mut tile = vec![i64::MAX >> 1; ndim];
@@ -265,9 +270,7 @@ fn multicolor_tasks(kernel: usize, regions: &[Region], tile: &[i64]) -> Vec<Task
     let mut box_lo = lo.clone();
     'boxes: loop {
         let box_hi: Vec<i64> = (0..nd)
-            .map(|d| {
-                (box_lo[d] + tile[d].saturating_mul(stride0[d])).min(hi[d])
-            })
+            .map(|d| (box_lo[d] + tile[d].saturating_mul(stride0[d])).min(hi[d]))
             .collect();
         let subs: Vec<Region> = regions
             .iter()
@@ -296,11 +299,15 @@ fn multicolor_tasks(kernel: usize, regions: &[Region], tile: &[i64]) -> Vec<Task
     tasks
 }
 
-impl Executable for OmpExecutable {
-    fn run(&self, grids: &mut GridSet) -> Result<()> {
+impl OmpExecutable {
+    /// Shared execution path; the report only observes (phase wall times
+    /// and task classification), so `run` and `run_with_report` compute
+    /// bitwise-identical results.
+    fn run_impl(&self, grids: &mut GridSet, mut report: Option<&mut RunReport>) -> Result<()> {
         let (ptrs, lens) = check_and_ptrs(&self.lowered, grids)?;
         let view = GridPtrs::new(&ptrs, &lens);
-        for phase in &self.phases {
+        for (pi, phase) in self.phases.iter().enumerate() {
+            let t0 = report.as_ref().map(|_| std::time::Instant::now());
             // SAFETY: tasks within a phase are mutually independent (greedy
             // grouping) and tiles of a parallel-safe kernel are iteration-
             // disjoint; bounds are proven by validation.
@@ -327,7 +334,34 @@ impl Executable for OmpExecutable {
                 phase.iter().for_each(run_task);
             }
             // The join at the end of par_iter is the phase barrier.
+            if let (Some(r), Some(t0)) = (report.as_deref_mut(), t0) {
+                r.record_phase(pi, t0.elapsed().as_secs_f64(), phase.len() as u64);
+                for task in phase {
+                    r.kernels.tiles += 1;
+                    r.kernels.fused += (task.kernels.len() as u64).saturating_sub(1);
+                    if self.lowered.kernels[task.kernels[0]].parallel_safe {
+                        r.kernels.parallel_tasks += 1;
+                    } else {
+                        r.kernels.sequential_tasks += 1;
+                    }
+                }
+            }
         }
+        Ok(())
+    }
+}
+
+impl Executable for OmpExecutable {
+    fn run(&self, grids: &mut GridSet) -> Result<()> {
+        self.run_impl(grids, None)
+    }
+
+    fn run_with_report(&self, grids: &mut GridSet, report: &mut RunReport) -> Result<()> {
+        report.set_backend("omp");
+        let t0 = std::time::Instant::now();
+        self.run_impl(grids, Some(report))?;
+        report.kernels.points += self.points_per_run();
+        report.finish_run(t0.elapsed().as_secs_f64());
         Ok(())
     }
 
@@ -355,7 +389,11 @@ mod tests {
         let faces = |g: StencilGroup| -> StencilGroup {
             let mut g = g;
             let face = |dom, off: [i64; 2]| {
-                Stencil::new(Expr::Neg(Box::new(Expr::read_at("mesh", &off))), "mesh", dom)
+                Stencil::new(
+                    Expr::Neg(Box::new(Expr::read_at("mesh", &off))),
+                    "mesh",
+                    dom,
+                )
             };
             g.push(face(RectDomain::new(&[0, 1], &[0, -1], &[0, 1]), [1, 0]));
             g.push(face(RectDomain::new(&[-1, 1], &[-1, -1], &[0, 1]), [-1, 0]));
@@ -426,9 +464,7 @@ mod tests {
             .unwrap()
             .run(&mut b)
             .unwrap();
-        assert!(
-            a.get("mesh").unwrap().max_abs_diff(b.get("mesh").unwrap()) < 1e-14
-        );
+        assert!(a.get("mesh").unwrap().max_abs_diff(b.get("mesh").unwrap()) < 1e-14);
     }
 
     #[test]
@@ -530,8 +566,7 @@ mod tests {
                 let map = AffineMap::scaled(vec![2, 2], vec![di, dj]);
                 group.push(
                     Stencil::new(
-                        Expr::read_mapped("fine", map.clone())
-                            + Expr::read_at("coarse", &[0, 0]),
+                        Expr::read_mapped("fine", map.clone()) + Expr::read_at("coarse", &[0, 0]),
                         "fine",
                         RectDomain::interior(2),
                     )
@@ -624,7 +659,10 @@ mod tests {
             .unwrap()
             .run(&mut gs)
             .unwrap();
-        assert_eq!(gs.get("y").unwrap().max_abs_diff(tuned.get("y").unwrap()), 0.0);
+        assert_eq!(
+            gs.get("y").unwrap().max_abs_diff(tuned.get("y").unwrap()),
+            0.0
+        );
     }
 
     #[test]

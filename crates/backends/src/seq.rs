@@ -7,9 +7,10 @@
 
 use snowflake_core::{Result, ShapeMap, StencilGroup};
 use snowflake_grid::GridSet;
-use snowflake_ir::{lower_group, Lowered, LowerOptions};
+use snowflake_ir::{lower_group, LowerOptions, Lowered};
 
 use crate::exec::{check_limits, run_kernel_region};
+use crate::metrics::RunReport;
 use crate::view::GridPtrs;
 use crate::{check_and_ptrs, Backend, Executable};
 
@@ -45,16 +46,50 @@ struct SeqExecutable {
     lowered: Lowered,
 }
 
-impl Executable for SeqExecutable {
-    fn run(&self, grids: &mut GridSet) -> Result<()> {
+impl SeqExecutable {
+    /// Shared execution path; instrumentation only observes, so `run` and
+    /// `run_with_report` compute bitwise-identical results.
+    ///
+    /// Kernels execute phase by phase: the greedy schedule groups
+    /// *consecutive* kernels, so walking phases in order is exactly
+    /// program order — the same traversal `run` always performed.
+    fn run_impl(&self, grids: &mut GridSet, mut report: Option<&mut RunReport>) -> Result<()> {
         let (ptrs, lens) = check_and_ptrs(&self.lowered, grids)?;
         let view = GridPtrs::new(&ptrs, &lens);
-        for kernel in &self.lowered.kernels {
-            for region in &kernel.regions {
-                // SAFETY: bounds proven by validation; single thread.
-                unsafe { run_kernel_region(kernel, &view, region) };
+        for (pi, phase) in self.lowered.phases.iter().enumerate() {
+            let t0 = report.as_ref().map(|_| std::time::Instant::now());
+            let mut regions_run = 0u64;
+            for &ki in phase {
+                let kernel = &self.lowered.kernels[ki];
+                for region in &kernel.regions {
+                    // SAFETY: bounds proven by validation; single thread.
+                    unsafe { run_kernel_region(kernel, &view, region) };
+                }
+                regions_run += kernel.regions.len() as u64;
+            }
+            if let (Some(r), Some(t0)) = (report.as_deref_mut(), t0) {
+                r.record_phase(pi, t0.elapsed().as_secs_f64(), regions_run);
+                r.kernels.tiles += regions_run;
+                // One thread, canonical order: every dispatch is a
+                // sequential one regardless of the analysis verdict.
+                r.kernels.sequential_tasks += regions_run;
             }
         }
+        Ok(())
+    }
+}
+
+impl Executable for SeqExecutable {
+    fn run(&self, grids: &mut GridSet) -> Result<()> {
+        self.run_impl(grids, None)
+    }
+
+    fn run_with_report(&self, grids: &mut GridSet, report: &mut RunReport) -> Result<()> {
+        report.set_backend("seq");
+        let t0 = std::time::Instant::now();
+        self.run_impl(grids, Some(report))?;
+        report.kernels.points += self.points_per_run();
+        report.finish_run(t0.elapsed().as_secs_f64());
         Ok(())
     }
 
@@ -124,7 +159,10 @@ mod tests {
         // sum-of-products fast path; ulp-level reassociation vs the tree
         // interpreter is expected.
         assert!(
-            gs_a.get("mesh").unwrap().max_abs_diff(gs_b.get("mesh").unwrap()) < 5e-12
+            gs_a.get("mesh")
+                .unwrap()
+                .max_abs_diff(gs_b.get("mesh").unwrap())
+                < 5e-12
         );
     }
 
@@ -146,7 +184,9 @@ mod tests {
             ],
         );
         let group = StencilGroup::from(Stencil::new(lap, "y", RectDomain::interior(3)));
-        let exe = SequentialBackend::new().compile(&group, &gs.shapes()).unwrap();
+        let exe = SequentialBackend::new()
+            .compile(&group, &gs.shapes())
+            .unwrap();
         exe.run(&mut gs).unwrap();
         let y = gs.get("y").unwrap();
         // Laplacian of i² + j² + k = 4.

@@ -2,10 +2,10 @@
 //! and multicolor reordering, on the VC GSRB smoother.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use snowflake_backends::{Backend, OmpBackend};
-use snowflake_grid::GridSet;
 use hpgmg::problem::{LevelData, Problem};
 use hpgmg::stencils::{gsrb_smooth_group, Coeff, Names};
+use snowflake_backends::{Backend, OmpBackend};
+use snowflake_grid::GridSet;
 
 fn build_grids(n: usize) -> (GridSet, snowflake_core::StencilGroup) {
     let problem = Problem::poisson_vc(n);
@@ -47,7 +47,9 @@ fn ablation(c: &mut Criterion) {
 
     // Multicolor reordering on/off.
     for (label, on) in [("multicolor_on", true), ("multicolor_off", false)] {
-        let backend = OmpBackend::new().with_multicolor(on).with_tile(vec![8, 8, 64]);
+        let backend = OmpBackend::new()
+            .with_multicolor(on)
+            .with_tile(vec![8, 8, 64]);
         let exe = backend.compile(&group, &shapes).unwrap();
         g.bench_function(BenchmarkId::new("reorder", label), |b| {
             b.iter(|| exe.run(&mut grids).unwrap())

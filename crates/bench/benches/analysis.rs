@@ -3,11 +3,11 @@
 //! compile (stencil-construction) time.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use hpgmg::stencils::{gsrb_smooth_group, Coeff, Names};
 use snowflake_analysis::dio::{ranges_intersect, StridedRange};
 use snowflake_analysis::{greedy_phases, ResolvedStencil};
 use snowflake_core::ShapeMap;
 use snowflake_ir::{lower_group, LowerOptions};
-use hpgmg::stencils::{gsrb_smooth_group, Coeff, Names};
 
 fn shapes(n: usize) -> ShapeMap {
     let names = Names::level(0);

@@ -20,7 +20,9 @@ fn fig9(c: &mut Criterion) {
     });
 
     for who in [Who::SnowSeq, Who::SnowOmp, Who::SnowOcl, Who::SnowCjit] {
-        let Some(backend) = who.backend() else { continue };
+        let Some(backend) = who.backend() else {
+            continue;
+        };
         let Ok(mut solver) = SnowSolver::new(problem, backend) else {
             continue;
         };

@@ -16,9 +16,10 @@ fn stream(c: &mut Criterion) {
         g.bench_function(BenchmarkId::new("parallel", format!("2^{shift}")), |bch| {
             bch.iter(|| dot_pass(&a, &b))
         });
-        g.bench_function(BenchmarkId::new("sequential", format!("2^{shift}")), |bch| {
-            bch.iter(|| dot_pass_seq(&a, &b))
-        });
+        g.bench_function(
+            BenchmarkId::new("sequential", format!("2^{shift}")),
+            |bch| bch.iter(|| dot_pass_seq(&a, &b)),
+        );
     }
     g.finish();
 }

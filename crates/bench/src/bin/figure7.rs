@@ -5,15 +5,24 @@
 //! The paper runs 256³ on an i7-4765T and a K20c; the default here is 64³
 //! (container-friendly). Reproduce the paper's size with
 //! `cargo run --release -p snowflake-bench --bin figure7 -- --size 256`.
+//!
+//! Pass `--metrics-json <path>` to dump per-cell [`RunReport`] profiles
+//! (schema in README.md).
+//!
+//! [`RunReport`]: snowflake_backends::RunReport
 
 use roofline::{measure_dot_bandwidth, Roofline, StencilKind};
-use snowflake_bench::{arg_usize, print_table, KernelBench, Who};
+use snowflake_backends::RunReport;
+use snowflake_bench::{
+    arg_usize_or_exit, arg_value, print_table, write_metrics_json, KernelBench, MetricsRow, Who,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let n = arg_usize(&args, "--size", 64);
-    let reps = arg_usize(&args, "--reps", 5);
-    let stream_elems = arg_usize(&args, "--stream-elems", 1 << 22);
+    let n = arg_usize_or_exit(&args, "--size", 64);
+    let reps = arg_usize_or_exit(&args, "--reps", 5);
+    let stream_elems = arg_usize_or_exit(&args, "--stream-elems", 1 << 22);
+    let metrics_path = arg_value(&args, "--metrics-json");
 
     println!("Figure 7 — performance for {n}^3 (10^9 stencils/s)");
     let bw = measure_dot_bandwidth(stream_elems, 3);
@@ -26,25 +35,46 @@ fn main() {
     header.push("Roofline".into());
 
     let mut rows = Vec::new();
+    let mut metrics_rows = Vec::new();
     for kind in StencilKind::all() {
         let mut row = vec![kind.label().to_string()];
         for w in &who {
-            let rate = match KernelBench::build(kind, *w, n) {
-                Ok(mut kb) => kb.stencils_per_sec(reps) / 1e9,
-                Err(e) => {
-                    eprintln!("({} on {kind:?} unavailable: {e})", w.label());
-                    f64::NAN
+            match KernelBench::build(kind, *w, n) {
+                Ok(mut kb) => {
+                    let rate = kb.stencils_per_sec(reps);
+                    row.push(format!("{:.3}", rate / 1e9));
+                    if metrics_path.is_some() {
+                        let mut report = RunReport::new();
+                        kb.sweep_with_report(&mut report);
+                        metrics_rows.push(MetricsRow {
+                            operator: kind.label().to_string(),
+                            implementation: w.label().to_string(),
+                            value: rate,
+                            report: Some(report),
+                        });
+                    }
                 }
-            };
-            row.push(format!("{rate:.3}"));
+                Err(e) => {
+                    // An unavailable implementation (e.g. cjit without a C
+                    // compiler) is a skipped column, not a failed figure.
+                    eprintln!("({} on {kind:?} skipped: {e})", w.label());
+                    row.push("skipped".to_string());
+                }
+            }
         }
-        row.push(format!(
-            "{:.3}",
-            model.bound_stencils_per_sec(kind) / 1e9
-        ));
+        row.push(format!("{:.3}", model.bound_stencils_per_sec(kind) / 1e9));
         rows.push(row);
     }
     print_table(&format!("stencils/s (10^9) at {n}^3"), &header, &rows);
+    if let Some(path) = metrics_path {
+        match write_metrics_json(&path, 7, n, &metrics_rows) {
+            Ok(()) => println!("\nmetrics written to {path}"),
+            Err(e) => {
+                eprintln!("error: writing {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     println!(
         "\nShape check vs paper: Snowflake/cjit (the generated C+OpenMP path,\n\
          i.e. what the paper measures) is competitive with — sometimes above —\n\

@@ -6,14 +6,23 @@
 //! in cache and beat the DRAM roofline — same effect here).
 //!
 //! `cargo run --release -p snowflake-bench --bin figure8 [-- --max-size 256]`
+//!
+//! Pass `--metrics-json <path>` to dump per-cell [`RunReport`] profiles
+//! (schema in README.md).
+//!
+//! [`RunReport`]: snowflake_backends::RunReport
 
 use roofline::{measure_dot_bandwidth, Roofline, StencilKind};
-use snowflake_bench::{arg_usize, print_table, KernelBench, Who};
+use snowflake_backends::RunReport;
+use snowflake_bench::{
+    arg_usize_or_exit, arg_value, print_table, write_metrics_json, KernelBench, MetricsRow, Who,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let max = arg_usize(&args, "--max-size", 128);
-    let reps = arg_usize(&args, "--reps", 5);
+    let max = arg_usize_or_exit(&args, "--max-size", 128);
+    let reps = arg_usize_or_exit(&args, "--reps", 5);
+    let metrics_path = arg_value(&args, "--metrics-json");
 
     let mut sizes = vec![32usize, 64, 128, 256];
     sizes.retain(|&s| s <= max);
@@ -29,17 +38,30 @@ fn main() {
     header.push("Roofline".into());
 
     let mut rows = Vec::new();
+    let mut metrics_rows = Vec::new();
     for &n in sizes.iter().rev() {
         let mut row = vec![format!("{n}^3")];
         for w in &who {
-            let secs = match KernelBench::build(StencilKind::VcGsrb, *w, n) {
-                Ok(mut kb) => kb.seconds_per_sweep(reps),
-                Err(e) => {
-                    eprintln!("({} unavailable at {n}^3: {e})", w.label());
-                    f64::NAN
+            match KernelBench::build(StencilKind::VcGsrb, *w, n) {
+                Ok(mut kb) => {
+                    let secs = kb.seconds_per_sweep(reps);
+                    row.push(format!("{secs:.3e}"));
+                    if metrics_path.is_some() {
+                        let mut report = RunReport::new();
+                        kb.sweep_with_report(&mut report);
+                        metrics_rows.push(MetricsRow {
+                            operator: format!("{n}^3"),
+                            implementation: w.label().to_string(),
+                            value: secs,
+                            report: Some(report),
+                        });
+                    }
                 }
-            };
-            row.push(format!("{secs:.3e}"));
+                Err(e) => {
+                    eprintln!("({} at {n}^3 skipped: {e})", w.label());
+                    row.push("skipped".to_string());
+                }
+            }
         }
         row.push(format!(
             "{:.3e}",
@@ -48,6 +70,15 @@ fn main() {
         rows.push(row);
     }
     print_table("seconds per VC GSRB smooth", &header, &rows);
+    if let Some(path) = metrics_path {
+        match write_metrics_json(&path, 8, max, &metrics_rows) {
+            Ok(()) => println!("\nmetrics written to {path}"),
+            Err(e) => {
+                eprintln!("error: writing {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     println!(
         "\nShape check vs paper: time scales ~8x per size doubling (bandwidth\n\
          bound); the smallest sizes drop below the DRAM Roofline because the\n\

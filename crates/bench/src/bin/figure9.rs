@@ -8,21 +8,29 @@
 //!
 //! `cargo run --release -p snowflake-bench --bin figure9
 //!      [-- --size 256] [--cycles 10]`
+//!
+//! Pass `--metrics-json <path>` to dump the per-backend solver
+//! [`RunReport`] profiles (schema in README.md).
+//!
+//! [`RunReport`]: snowflake_backends::RunReport
 
 use std::time::Instant;
 
 use hpgmg::{HandSolver, Problem, Smoother, SnowSolver};
-use snowflake_bench::{arg_usize, arg_value, print_table, Who};
+use snowflake_bench::{
+    arg_usize_or_exit, arg_value, print_table, write_metrics_json, MetricsRow, Who,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let n = arg_usize(&args, "--size", 64);
-    let cycles = arg_usize(&args, "--cycles", 10);
+    let n = arg_usize_or_exit(&args, "--size", 64);
+    let cycles = arg_usize_or_exit(&args, "--cycles", 10);
     let smoother = match arg_value(&args, "--smoother").as_deref() {
         Some("cheby") | Some("chebyshev") => Smoother::Chebyshev,
         _ => Smoother::GsRb,
     };
     let fmg = args.iter().any(|a| a == "--fcycle");
+    let metrics_path = arg_value(&args, "--metrics-json");
     let problem = Problem::poisson_vc(n);
     let dof = (n * n * n) as f64;
 
@@ -32,6 +40,7 @@ fn main() {
     );
 
     let mut rows = Vec::new();
+    let mut metrics_rows = Vec::new();
 
     // Hand-optimized baseline.
     {
@@ -47,14 +56,27 @@ fn main() {
             format!("{dt:.3}"),
             format!("{:.2e}", norms[cycles] / norms[0]),
         ]);
+        if metrics_path.is_some() {
+            metrics_rows.push(MetricsRow {
+                operator: "gmg-solve".to_string(),
+                implementation: Who::Hand.label().to_string(),
+                value: dof / dt / 1e6,
+                report: None,
+            });
+        }
     }
 
     // Snowflake on each backend.
     for who in [Who::SnowOmp, Who::SnowOcl, Who::SnowCjit, Who::SnowSeq] {
-        let Some(backend) = who.backend() else { continue };
+        let Some(backend) = who.backend() else {
+            continue;
+        };
         match SnowSolver::with_smoother(problem, backend, smoother) {
             Ok(mut solver) => {
                 solver.solve(1).expect("warm-up");
+                if metrics_path.is_some() {
+                    solver.enable_metrics();
+                }
                 let t0 = Instant::now();
                 let norms = solver.solve_opts(cycles, fmg).expect("solve");
                 let dt = t0.elapsed().as_secs_f64();
@@ -64,8 +86,26 @@ fn main() {
                     format!("{dt:.3}"),
                     format!("{:.2e}", norms[cycles] / norms[0]),
                 ]);
+                if metrics_path.is_some() {
+                    metrics_rows.push(MetricsRow {
+                        operator: "gmg-solve".to_string(),
+                        implementation: who.label().to_string(),
+                        value: dof / dt / 1e6,
+                        report: solver.take_metrics(),
+                    });
+                }
             }
-            Err(e) => eprintln!("({} unavailable: {e})", who.label()),
+            Err(e) => {
+                // An unavailable backend (e.g. cjit without a C compiler)
+                // is a skipped row, not a failed figure.
+                eprintln!("({} skipped: {e})", who.label());
+                rows.push(vec![
+                    who.label().to_string(),
+                    "skipped".to_string(),
+                    "skipped".to_string(),
+                    "skipped".to_string(),
+                ]);
+            }
         }
     }
 
@@ -79,6 +119,15 @@ fn main() {
         ],
         &rows,
     );
+    if let Some(path) = metrics_path {
+        match write_metrics_json(&path, 9, n, &metrics_rows) {
+            Ok(()) => println!("\nmetrics written to {path}"),
+            Err(e) => {
+                eprintln!("error: writing {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     println!(
         "\nShape check vs paper: Snowflake ≈ hand-optimized on the CPU path;\n\
          every implementation converges identically (same reduction factor)\n\

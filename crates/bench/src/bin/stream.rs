@@ -5,16 +5,19 @@
 //!         [-- --elems <N>] [--reps <R>]`
 
 use roofline::{measure_dot_bandwidth, Roofline, StencilKind};
-use snowflake_bench::{arg_usize, print_table};
+use snowflake_bench::{arg_usize_or_exit, print_table};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     // 2 × 32 MiB of doubles by default: far beyond any LLC here.
-    let elems = arg_usize(&args, "--elems", 1 << 22);
-    let reps = arg_usize(&args, "--reps", 5);
+    let elems = arg_usize_or_exit(&args, "--elems", 1 << 22);
+    let reps = arg_usize_or_exit(&args, "--reps", 5);
 
     println!("Modified STREAM (dot-product) bandwidth — Figure 6 protocol");
-    println!("arrays: 2 x {elems} doubles = {:.1} MiB total", (2 * elems * 8) as f64 / (1 << 20) as f64);
+    println!(
+        "arrays: 2 x {elems} doubles = {:.1} MiB total",
+        (2 * elems * 8) as f64 / (1 << 20) as f64
+    );
 
     // Sweep a few sizes to expose the cache/DRAM transition, mirroring the
     // paper's note that small problems exceed the DRAM roofline.

@@ -19,14 +19,18 @@
 //! This library holds the shared kernels-under-test so binaries and
 //! benches measure exactly the same code.
 
+use std::fmt;
 use std::time::Instant;
 
-use snowflake_backends::{Backend, CJitBackend, Executable, OclSimBackend, OmpBackend, SequentialBackend};
-use snowflake_core::Result;
-use snowflake_grid::GridSet;
 use hpgmg::problem::{LevelData, Problem};
 use hpgmg::stencils::{apply_op_group, gsrb_smooth_group, jacobi_group, Coeff, Names};
 use roofline::StencilKind;
+use snowflake_backends::metrics::json;
+use snowflake_backends::{
+    Backend, CJitBackend, Executable, OclSimBackend, OmpBackend, RunReport, SequentialBackend,
+};
+use snowflake_core::Result;
+use snowflake_grid::GridSet;
 
 /// Best-of-`reps` wall time of `f`, after one untimed warm-up call (the
 /// paper's protocol).
@@ -172,6 +176,30 @@ impl KernelBench {
         }
     }
 
+    /// Execute one sweep of the operator, profiling into `report`.
+    ///
+    /// Snowflake runners delegate to [`Executable::run_with_report`]; the
+    /// hand-optimized baseline has no compiled schedule to introspect, so
+    /// it is reported as a single-phase run under the backend name
+    /// `"hand"`.
+    pub fn sweep_with_report(&mut self, report: &mut RunReport) {
+        match &mut self.runner {
+            KernelRunner::Hand { .. } => {
+                report.set_backend("hand");
+                let t0 = Instant::now();
+                self.sweep();
+                let dt = t0.elapsed().as_secs_f64();
+                report.record_phase(0, dt, 1);
+                report.kernels.points += self.stencils_per_sweep;
+                report.finish_run(dt);
+            }
+            KernelRunner::Snow { grids, exe } => {
+                exe.run_with_report(grids, report)
+                    .expect("compiled kernel run");
+            }
+        }
+    }
+
     /// Execute one sweep of the operator.
     pub fn sweep(&mut self) {
         match &mut self.runner {
@@ -179,8 +207,7 @@ impl KernelBench {
                 StencilKind::Cc7pt => {
                     hpgmg::hand::apply_boundary(&mut lvl.x, lvl.n);
                     // Move res out so it can be written while lvl is read.
-                    let mut res =
-                        std::mem::replace(&mut lvl.res, snowflake_grid::Grid::new(&[1]));
+                    let mut res = std::mem::replace(&mut lvl.res, snowflake_grid::Grid::new(&[1]));
                     hpgmg::hand::apply_op(&mut res, &lvl.x, lvl, problem.a, problem.b);
                     lvl.res = res;
                 }
@@ -234,11 +261,37 @@ pub fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
             .join("  ")
     };
     println!("{}", fmt_row(header));
-    println!("{}", "-".repeat(width.iter().sum::<usize>() + 2 * (ncol - 1)));
+    println!(
+        "{}",
+        "-".repeat(width.iter().sum::<usize>() + 2 * (ncol - 1))
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
 }
+
+/// A malformed command-line flag value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UsageError {
+    /// The flag whose value failed to parse.
+    pub flag: String,
+    /// The offending value.
+    pub value: String,
+    /// What was expected (e.g. "an unsigned integer").
+    pub expected: &'static str,
+}
+
+impl fmt::Display for UsageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bad value {:?} for {}: expected {}",
+            self.value, self.flag, self.expected
+        )
+    }
+}
+
+impl std::error::Error for UsageError {}
 
 /// Parse `--flag value` style arguments (tiny, dependency-free).
 pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
@@ -247,11 +300,78 @@ pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
-/// Parse a usize flag with default.
-pub fn arg_usize(args: &[String], flag: &str, default: usize) -> usize {
-    arg_value(args, flag)
-        .map(|v| v.parse().unwrap_or_else(|_| panic!("bad value for {flag}")))
-        .unwrap_or(default)
+/// Parse a usize flag with default; a present-but-malformed value is a
+/// usage error, not a panic.
+pub fn arg_usize(
+    args: &[String],
+    flag: &str,
+    default: usize,
+) -> std::result::Result<usize, UsageError> {
+    match arg_value(args, flag) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| UsageError {
+            flag: flag.to_string(),
+            value: v,
+            expected: "an unsigned integer",
+        }),
+    }
+}
+
+/// Binary front-end for [`arg_usize`]: print the usage error and exit 2.
+pub fn arg_usize_or_exit(args: &[String], flag: &str, default: usize) -> usize {
+    arg_usize(args, flag, default).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// One row of a figure's `--metrics-json` output: the measured value plus
+/// the [`RunReport`] collected from an instrumented sweep.
+pub struct MetricsRow {
+    /// Operator / row label (e.g. "VC GSRB" or "64^3").
+    pub operator: String,
+    /// Implementation column label.
+    pub implementation: String,
+    /// The figure's headline measurement for this cell.
+    pub value: f64,
+    /// Execution report, when the implementation produced one.
+    pub report: Option<RunReport>,
+}
+
+/// Render a figure's metrics rows as a JSON document (see README, metrics
+/// schema): `{"figure": N, "size": n, "rows": [{"operator", "impl",
+/// "value", "report"}…]}`.
+pub fn metrics_json(figure: u64, size: usize, rows: &[MetricsRow]) -> String {
+    let rows_json: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let report = match &r.report {
+                Some(rep) => rep.to_json(),
+                None => "null".to_string(),
+            };
+            format!(
+                "{{\"operator\":{},\"impl\":{},\"value\":{},\"report\":{}}}",
+                json::escape(&r.operator),
+                json::escape(&r.implementation),
+                json::number(r.value),
+                report
+            )
+        })
+        .collect();
+    format!(
+        "{{\"figure\":{figure},\"size\":{size},\"rows\":[{}]}}",
+        rows_json.join(",")
+    )
+}
+
+/// Write a figure's metrics document to `path`.
+pub fn write_metrics_json(
+    path: &str,
+    figure: u64,
+    size: usize,
+    rows: &[MetricsRow],
+) -> std::io::Result<()> {
+    std::fs::write(path, metrics_json(figure, size, rows))
 }
 
 #[cfg(test)]
@@ -282,8 +402,67 @@ mod tests {
             .iter()
             .map(|s| s.to_string())
             .collect();
-        assert_eq!(arg_usize(&args, "--size", 32), 64);
-        assert_eq!(arg_usize(&args, "--reps", 3), 5);
-        assert_eq!(arg_usize(&args, "--missing", 9), 9);
+        assert_eq!(arg_usize(&args, "--size", 32), Ok(64));
+        assert_eq!(arg_usize(&args, "--reps", 3), Ok(5));
+        assert_eq!(arg_usize(&args, "--missing", 9), Ok(9));
+    }
+
+    #[test]
+    fn malformed_flag_is_a_usage_error_not_a_panic() {
+        let args: Vec<String> = ["--size", "banana"].iter().map(|s| s.to_string()).collect();
+        let err = arg_usize(&args, "--size", 32).unwrap_err();
+        assert_eq!(err.flag, "--size");
+        assert_eq!(err.value, "banana");
+        assert!(err.to_string().contains("--size"));
+        // A flag at the end with no value falls back to the default.
+        let args: Vec<String> = vec!["--size".into()];
+        assert_eq!(arg_usize(&args, "--size", 32), Ok(32));
+    }
+
+    /// The figure7 `--metrics-json` document, produced through the same
+    /// helpers the binary uses, parses back with every field intact.
+    #[test]
+    fn metrics_json_round_trips_a_figure7_shaped_document() {
+        let mut kb = KernelBench::build(StencilKind::VcGsrb, Who::SnowSeq, 8).unwrap();
+        let mut report = RunReport::new();
+        kb.sweep_with_report(&mut report);
+        let rows = vec![
+            MetricsRow {
+                operator: "VC GSRB".into(),
+                implementation: Who::SnowSeq.label().into(),
+                value: 1.25e8,
+                report: Some(report),
+            },
+            MetricsRow {
+                operator: "VC GSRB".into(),
+                implementation: Who::Hand.label().into(),
+                value: 2.0e8,
+                report: None,
+            },
+        ];
+        let doc = json::parse(&metrics_json(7, 8, &rows)).expect("valid JSON");
+        assert_eq!(doc.get("figure").unwrap().as_u64(), Some(7));
+        assert_eq!(doc.get("size").unwrap().as_u64(), Some(8));
+        let parsed_rows = doc.get("rows").unwrap().as_array().unwrap();
+        assert_eq!(parsed_rows.len(), 2);
+        let first = &parsed_rows[0];
+        assert_eq!(first.get("operator").unwrap().as_str(), Some("VC GSRB"));
+        assert_eq!(first.get("impl").unwrap().as_str(), Some("Snowflake/seq"));
+        assert_eq!(first.get("value").unwrap().as_f64(), Some(1.25e8));
+        let rep = first.get("report").unwrap();
+        assert_eq!(rep.get("backend").unwrap().as_str(), Some("seq"));
+        assert_eq!(rep.get("runs").unwrap().as_u64(), Some(1));
+        // The GSRB group updates each interior point twice (red + black
+        // passes) plus boundary faces, so points ≥ the interior count.
+        let points = rep
+            .get("kernels")
+            .unwrap()
+            .get("points")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        assert!(points >= 512, "points = {points}");
+        assert!(!rep.get("phases").unwrap().as_array().unwrap().is_empty());
+        assert_eq!(parsed_rows[1].get("report"), Some(&json::Value::Null));
     }
 }

@@ -17,9 +17,9 @@
 //! periodic faces bake the wrap offset, so they are built per shape — the
 //! same per-size JIT story as the paper.
 
+use crate::domain::RectDomain;
 use crate::expr::Expr;
 use crate::stencil::Stencil;
-use crate::domain::RectDomain;
 
 /// One face stencil for dimension `d`: domain pinned at `pin`
 /// (0 or −1), remaining dimensions covering `1..n-1`.
@@ -34,10 +34,7 @@ fn face_domain(ndim: usize, d: usize, pin: i64) -> RectDomain {
 }
 
 fn face_name(grid: &str, kind: &str, d: usize, low: bool) -> String {
-    format!(
-        "{kind}_{grid}_d{d}{}",
-        if low { "lo" } else { "hi" }
-    )
+    format!("{kind}_{grid}_d{d}{}", if low { "lo" } else { "hi" })
 }
 
 /// The `2·ndim` homogeneous-Dirichlet ghost stencils: `ghost = −inside`.
@@ -129,9 +126,7 @@ mod tests {
         // Semantics check: ghost = inside.
         let faces = neumann_faces("x", 1);
         let lo = &faces[0];
-        let v = lo
-            .expr()
-            .eval(&[0], &mut |_, idx| idx[0] as f64 * 10.0);
+        let v = lo.expr().eval(&[0], &mut |_, idx| idx[0] as f64 * 10.0);
         assert_eq!(v, 10.0, "ghost 0 copies interior 1");
     }
 

@@ -133,9 +133,7 @@ impl RectDomain {
             if l < 0 || h > n {
                 return Err(CoreError::DomainOutOfBounds {
                     stencil: String::new(),
-                    detail: format!(
-                        "dim {d}: resolved range [{l}, {h}) outside grid extent {n}"
-                    ),
+                    detail: format!("dim {d}: resolved range [{l}, {h}) outside grid extent {n}"),
                 });
             }
             lo.push(l);

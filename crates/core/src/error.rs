@@ -18,10 +18,7 @@ pub enum CoreError {
     /// A weight array literal was ragged.
     RaggedWeights,
     /// A domain bound resolved outside the grid.
-    DomainOutOfBounds {
-        stencil: String,
-        detail: String,
-    },
+    DomainOutOfBounds { stencil: String, detail: String },
     /// A read or write lands outside a grid for some point of the domain.
     AccessOutOfBounds {
         stencil: String,
@@ -75,6 +72,18 @@ impl fmt::Display for CoreError {
 }
 
 impl std::error::Error for CoreError {}
+
+impl From<snowflake_grid::GridError> for CoreError {
+    fn from(e: snowflake_grid::GridError) -> Self {
+        match e {
+            snowflake_grid::GridError::UnknownGrid { name } => CoreError::UnknownGrid {
+                stencil: String::new(),
+                grid: name,
+            },
+            other => CoreError::Backend(other.to_string()),
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

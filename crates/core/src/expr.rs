@@ -441,7 +441,10 @@ mod tests {
     #[test]
     fn simplify_folds_constants_and_identities() {
         let r = Expr::read_at("a", &[0]);
-        assert_eq!((Expr::Const(2.0) + Expr::Const(3.0)).simplify(), Expr::Const(5.0));
+        assert_eq!(
+            (Expr::Const(2.0) + Expr::Const(3.0)).simplify(),
+            Expr::Const(5.0)
+        );
         assert_eq!((r.clone() * 1.0).simplify(), r);
         assert_eq!((r.clone() * 0.0).simplify(), Expr::Const(0.0));
         assert_eq!((r.clone() + 0.0).simplify(), r);

@@ -217,7 +217,9 @@ mod tests {
             let s = laplacian(1, order);
             let c = Component::new("g", s);
             let x0 = 0.3f64;
-            let got = c.expand().eval(&[0], &mut |_, idx| (x0 + idx[0] as f64 * h).sin())
+            let got = c
+                .expand()
+                .eval(&[0], &mut |_, idx| (x0 + idx[0] as f64 * h).sin())
                 / (h * h);
             (got - (-(x0).sin())).abs()
         };

@@ -496,7 +496,8 @@ impl<'a> ExprParser<'a> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
-        text.parse::<i64>().map_err(|_| format!("bad offset {text:?}"))
+        text.parse::<i64>()
+            .map_err(|_| format!("bad offset {text:?}"))
     }
 }
 
@@ -536,16 +537,19 @@ group sweep = bc_top red_pass black_pass
         for g in &script.grids {
             shapes.insert(g.clone(), vec![10, 10]);
         }
-        assert!(sweep.validate(&shapes).is_ok(), "{:?}", sweep.validate(&shapes));
+        assert!(
+            sweep.validate(&shapes).is_ok(),
+            "{:?}",
+            sweep.validate(&shapes)
+        );
         // Red pass is in place.
         assert!(script.stencil("red_pass").unwrap().is_in_place());
     }
 
     #[test]
     fn parsed_expression_matches_api_built_one() {
-        let script = parse(
-            "grid a b\nexpr e = 2*a[1] - b[0]/4 + 1.5\nstencil s: b[(0):(0):(1)]... ",
-        );
+        let script =
+            parse("grid a b\nexpr e = 2*a[1] - b[0]/4 + 1.5\nstencil s: b[(0):(0):(1)]... ");
         // (that stencil line is invalid; test expressions separately)
         assert!(script.is_err());
 
@@ -687,8 +691,7 @@ group sweep = bc_top red_pass black_pass
             let sub = arb_expr(depth - 1);
             prop_oneof![
                 leaf,
-                (sub.clone(), arb_expr(depth - 1))
-                    .prop_map(|(x, y)| x + y),
+                (sub.clone(), arb_expr(depth - 1)).prop_map(|(x, y)| x + y),
                 (arb_expr(depth - 1), arb_expr(depth - 1)).prop_map(|(x, y)| x - y),
                 (arb_expr(depth - 1), arb_expr(depth - 1)).prop_map(|(x, y)| x * y),
                 arb_expr(depth - 1).prop_map(|x| -x),

@@ -45,7 +45,11 @@ impl Stencil {
     /// # Panics
     /// Panics if the expression and domain disagree on rank (a programming
     /// error in the DSL program).
-    pub fn new(expr: impl crate::expr::IntoExpr, output: &str, domain: impl Into<DomainUnion>) -> Self {
+    pub fn new(
+        expr: impl crate::expr::IntoExpr,
+        output: &str,
+        domain: impl Into<DomainUnion>,
+    ) -> Self {
         let expr = expr.into_expr();
         let domain = domain.into();
         if let Some(nd) = expr.ndim() {
@@ -389,15 +393,8 @@ mod tests {
         let mut m = ShapeMap::new();
         m.insert("x".into(), vec![8]);
         m.insert("y".into(), vec![8, 8]);
-        let s = Stencil::new(
-            Expr::read_at("x", &[0, 0]),
-            "y",
-            RectDomain::interior(2),
-        );
-        assert!(matches!(
-            s.validate(&m),
-            Err(CoreError::DimMismatch { .. })
-        ));
+        let s = Stencil::new(Expr::read_at("x", &[0, 0]), "y", RectDomain::interior(2));
+        assert!(matches!(s.validate(&m), Err(CoreError::DimMismatch { .. })));
     }
 
     #[test]
@@ -416,9 +413,7 @@ mod tests {
         m.insert("coarse".into(), vec![6]);
         m.insert("fine".into(), vec![10]);
         let s = Stencil::new(
-            Expr::read(
-                "coarse", 1,
-            ),
+            Expr::read("coarse", 1),
             "fine",
             RectDomain::new(&[1], &[-1], &[1]),
         )
@@ -433,7 +428,11 @@ mod tests {
     fn group_collects_grids_in_order() {
         let g = StencilGroup::new()
             .with(Stencil::new(laplacian(), "y", RectDomain::interior(2)))
-            .with(Stencil::new(Expr::read_at("y", &[0, 0]), "x", RectDomain::interior(2)));
+            .with(Stencil::new(
+                Expr::read_at("y", &[0, 0]),
+                "x",
+                RectDomain::interior(2),
+            ));
         assert_eq!(g.grids(), vec!["x".to_string(), "y".to_string()]);
         assert_eq!(g.len(), 2);
         assert!(g.validate(&shapes2(8)).is_ok());

@@ -143,11 +143,7 @@ impl SparseArray {
     /// # Panics
     /// Panics if the offset rank mismatches the array rank.
     pub fn insert(&mut self, offset: Vec<i64>, weight: Expr) {
-        assert_eq!(
-            offset.len(),
-            self.ndim,
-            "SparseArray offset rank mismatch"
-        );
+        assert_eq!(offset.len(), self.ndim, "SparseArray offset rank mismatch");
         if let Some(slot) = self.entries.iter_mut().find(|(o, _)| *o == offset) {
             slot.1 = weight;
         } else {

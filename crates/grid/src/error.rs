@@ -1,0 +1,67 @@
+//! Error type for grid-set operations.
+
+use std::fmt;
+
+/// Errors raised by [`crate::GridSet`] operations that take user-supplied
+/// names or pair up grids at run time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GridError {
+    /// A named grid is absent from the set.
+    UnknownGrid {
+        /// The missing name.
+        name: String,
+    },
+    /// Two grids were paired in an operation that needs equal shapes.
+    ShapeMismatch {
+        /// First grid name.
+        a: String,
+        /// First grid shape.
+        a_shape: Vec<usize>,
+        /// Second grid name.
+        b: String,
+        /// Second grid shape.
+        b_shape: Vec<usize>,
+    },
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::UnknownGrid { name } => {
+                write!(f, "no grid named {name:?} in the grid set")
+            }
+            GridError::ShapeMismatch {
+                a,
+                a_shape,
+                b,
+                b_shape,
+            } => write!(
+                f,
+                "grids {a:?} (shape {a_shape:?}) and {b:?} (shape {b_shape:?}) \
+                 must have equal shapes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_both_grids() {
+        let e = GridError::ShapeMismatch {
+            a: "x".into(),
+            a_shape: vec![3],
+            b: "y".into(),
+            b_shape: vec![4],
+        };
+        let s = e.to_string();
+        assert!(s.contains("\"x\"") && s.contains("[4]"));
+        assert!(GridError::UnknownGrid { name: "u".into() }
+            .to_string()
+            .contains("\"u\""));
+    }
+}

@@ -19,11 +19,13 @@
 //! * [`rng`] — a tiny deterministic SplitMix64 generator so grid fills are
 //!   reproducible without external dependencies.
 
+pub mod error;
 pub mod grid;
 pub mod region;
 pub mod rng;
 pub mod set;
 
+pub use error::GridError;
 pub use grid::Grid;
 pub use region::Region;
 pub use set::GridSet;

@@ -61,9 +61,7 @@ impl Region {
     pub fn contains(&self, p: &[i64]) -> bool {
         p.len() == self.ndim()
             && (0..self.ndim()).all(|d| {
-                p[d] >= self.lo[d]
-                    && p[d] < self.hi[d]
-                    && (p[d] - self.lo[d]) % self.stride[d] == 0
+                p[d] >= self.lo[d] && p[d] < self.hi[d] && (p[d] - self.lo[d]) % self.stride[d] == 0
             })
     }
 
@@ -161,10 +159,7 @@ mod tests {
     fn points_row_major_strided() {
         let reg = r(&[0, 1], &[4, 4], &[2, 2]);
         let pts: Vec<_> = reg.points().collect();
-        assert_eq!(
-            pts,
-            vec![vec![0, 1], vec![0, 3], vec![2, 1], vec![2, 3]]
-        );
+        assert_eq!(pts, vec![vec![0, 1], vec![0, 3], vec![2, 1], vec![2, 3]]);
     }
 
     #[test]

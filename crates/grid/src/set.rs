@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use crate::Grid;
+use crate::{Grid, GridError};
 
 /// An ordered, name-addressed collection of [`Grid`]s.
 ///
@@ -98,20 +98,28 @@ impl GridSet {
     /// Chebyshev) where "previous" and "next" roles rotate between fixed
     /// names.
     ///
-    /// # Panics
-    /// Panics if either name is missing or the shapes differ.
-    pub fn swap_data(&mut self, a: &str, b: &str) {
-        let ia = self.index_of(a).unwrap_or_else(|| panic!("no grid {a:?}"));
-        let ib = self.index_of(b).unwrap_or_else(|| panic!("no grid {b:?}"));
+    /// Returns an error if either name is missing or the shapes differ;
+    /// the set is left unchanged in both cases.
+    pub fn swap_data(&mut self, a: &str, b: &str) -> Result<(), GridError> {
+        let ia = self.index_of(a).ok_or_else(|| GridError::UnknownGrid {
+            name: a.to_string(),
+        })?;
+        let ib = self.index_of(b).ok_or_else(|| GridError::UnknownGrid {
+            name: b.to_string(),
+        })?;
         if ia == ib {
-            return;
+            return Ok(());
         }
-        assert_eq!(
-            self.grids[ia].shape(),
-            self.grids[ib].shape(),
-            "swap_data requires equal shapes"
-        );
+        if self.grids[ia].shape() != self.grids[ib].shape() {
+            return Err(GridError::ShapeMismatch {
+                a: a.to_string(),
+                a_shape: self.grids[ia].shape().to_vec(),
+                b: b.to_string(),
+                b_shape: self.grids[ib].shape().to_vec(),
+            });
+        }
         self.grids.swap(ia, ib);
+        Ok(())
     }
 
     /// Raw mutable pointers to every grid's storage, in dense-index order.
@@ -173,21 +181,49 @@ mod tests {
         let mut s = GridSet::new();
         s.insert("a", Grid::from_fn(&[3], |p| p[0] as f64));
         s.insert("b", Grid::new(&[3]));
-        s.swap_data("a", "b");
+        s.swap_data("a", "b").unwrap();
         assert_eq!(s.get("a").unwrap().as_slice(), &[0.0, 0.0, 0.0]);
         assert_eq!(s.get("b").unwrap().as_slice(), &[0.0, 1.0, 2.0]);
         // Self-swap is a no-op.
-        s.swap_data("a", "a");
+        s.swap_data("a", "a").unwrap();
         assert_eq!(s.get("a").unwrap().as_slice(), &[0.0, 0.0, 0.0]);
     }
 
     #[test]
-    #[should_panic(expected = "equal shapes")]
     fn swap_data_rejects_shape_mismatch() {
         let mut s = GridSet::new();
         s.insert("a", Grid::new(&[3]));
         s.insert("b", Grid::new(&[4]));
-        s.swap_data("a", "b");
+        let err = s.swap_data("a", "b").unwrap_err();
+        assert_eq!(
+            err,
+            GridError::ShapeMismatch {
+                a: "a".into(),
+                a_shape: vec![3],
+                b: "b".into(),
+                b_shape: vec![4],
+            }
+        );
+        // The set is untouched after the failure.
+        assert_eq!(s.get("a").unwrap().shape(), &[3]);
+    }
+
+    #[test]
+    fn swap_data_rejects_unknown_names() {
+        let mut s = GridSet::new();
+        s.insert("a", Grid::new(&[3]));
+        assert_eq!(
+            s.swap_data("a", "ghost").unwrap_err(),
+            GridError::UnknownGrid {
+                name: "ghost".into()
+            }
+        );
+        assert_eq!(
+            s.swap_data("ghost", "a").unwrap_err(),
+            GridError::UnknownGrid {
+                name: "ghost".into()
+            }
+        );
     }
 
     #[test]

@@ -126,8 +126,8 @@ pub fn bicgstab(lvl: &mut LevelData, a: f64, b: f64, max_iters: usize, rtol: f64
         for i in 1..=n {
             for j in 1..=n {
                 for k in 1..=n {
-                    let val = r.get(&[i, j, k])
-                        + beta * (p.get(&[i, j, k]) - omega * v.get(&[i, j, k]));
+                    let val =
+                        r.get(&[i, j, k]) + beta * (p.get(&[i, j, k]) - omega * v.get(&[i, j, k]));
                     p.set(&[i, j, k], val);
                 }
             }

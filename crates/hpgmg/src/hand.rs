@@ -161,8 +161,7 @@ fn smooth_jacobi_cc(lvl: &mut LevelData, b: f64) {
             // x and rhs.
             let o = unsafe { std::slice::from_raw_parts_mut(out_ptr.0.add(base), n) };
             for k in 0..n {
-                let ax = bh2
-                    * (6.0 * ctr[k] - up[k] - dn[k] - no[k] - so[k] - e[k] - w[k]);
+                let ax = bh2 * (6.0 * ctr[k] - up[k] - dn[k] - no[k] - so[k] - e[k] - w[k]);
                 o[k] = ctr[k] + wdinv * (f[k] - ax);
             }
         }
@@ -178,7 +177,11 @@ pub fn apply_op(out: &mut Grid, x: &Grid, lvl: &LevelData, a: f64, b: f64) {
     let s = n + 2;
     let h2inv = 1.0 / (lvl.h * lvl.h);
     let xd = x.as_slice();
-    let (bx, by, bz) = (lvl.beta_x.as_slice(), lvl.beta_y.as_slice(), lvl.beta_z.as_slice());
+    let (bx, by, bz) = (
+        lvl.beta_x.as_slice(),
+        lvl.beta_y.as_slice(),
+        lvl.beta_z.as_slice(),
+    );
     let al = lvl.alpha.as_slice();
     let out_ptr = SendPtr(out.as_mut_ptr());
     (1..=n).into_par_iter().for_each(|i| {
@@ -217,7 +220,11 @@ pub fn residual(lvl: &mut LevelData, a: f64, b: f64) {
     let h2inv = 1.0 / (lvl.h * lvl.h);
     let xd = lvl.x.as_slice();
     let rhs = lvl.rhs.as_slice();
-    let (bx, by, bz) = (lvl.beta_x.as_slice(), lvl.beta_y.as_slice(), lvl.beta_z.as_slice());
+    let (bx, by, bz) = (
+        lvl.beta_x.as_slice(),
+        lvl.beta_y.as_slice(),
+        lvl.beta_z.as_slice(),
+    );
     let al = lvl.alpha.as_slice();
     let res_ptr = SendPtr(lvl.res.as_mut_ptr());
     (1..=n).into_par_iter().for_each(|i| {
@@ -259,7 +266,11 @@ pub fn smooth_gsrb_color(lvl: &mut LevelData, parity: usize, a: f64, b: f64) {
     let h2inv = 1.0 / (lvl.h * lvl.h);
     let rhs = lvl.rhs.as_slice();
     let dinv = lvl.dinv.as_slice();
-    let (bx, by, bz) = (lvl.beta_x.as_slice(), lvl.beta_y.as_slice(), lvl.beta_z.as_slice());
+    let (bx, by, bz) = (
+        lvl.beta_x.as_slice(),
+        lvl.beta_y.as_slice(),
+        lvl.beta_z.as_slice(),
+    );
     let al = lvl.alpha.as_slice();
     let x_ptr = SendPtr(lvl.x.as_mut_ptr());
     (1..=n).into_par_iter().for_each(|i| {
@@ -319,7 +330,11 @@ pub fn smooth_jacobi(lvl: &mut LevelData, a: f64, b: f64) {
     let xd = lvl.x.as_slice();
     let rhs = lvl.rhs.as_slice();
     let dinv = lvl.dinv.as_slice();
-    let (bx, by, bz) = (lvl.beta_x.as_slice(), lvl.beta_y.as_slice(), lvl.beta_z.as_slice());
+    let (bx, by, bz) = (
+        lvl.beta_x.as_slice(),
+        lvl.beta_y.as_slice(),
+        lvl.beta_z.as_slice(),
+    );
     let al = lvl.alpha.as_slice();
     let out_ptr = SendPtr(lvl.res.as_mut_ptr());
     const OMEGA: f64 = 2.0 / 3.0;
@@ -379,7 +394,7 @@ pub fn smooth_chebyshev(lvl: &mut LevelData, a: f64, b: f64) {
                 // bypassing SendPtr's Send/Sync impls.
                 #[allow(clippy::redundant_locals)]
                 let tmp_ptr = tmp_ptr;
-                        for j in 1..=n {
+                for j in 1..=n {
                     for k in 1..=n {
                         let c = lin(s, i, j, k);
                         // SAFETY: 1..=n indices (see `at`); tmp is read at
@@ -503,13 +518,7 @@ pub fn interpolate_linear(coarse: &mut LevelData, fine: &mut LevelData) {
                                                 w *= 0.75;
                                             }
                                         }
-                                        v += w
-                                            * cx[lin(
-                                                sc,
-                                                ii as usize,
-                                                jj as usize,
-                                                kk as usize,
-                                            )];
+                                        v += w * cx[lin(sc, ii as usize, jj as usize, kk as usize)];
                                     }
                                 }
                             }
@@ -979,6 +988,9 @@ mod tests {
             smooth_jacobi(&mut solver.levels[0], p.a, p.b);
         }
         let r1 = solver.residual_norm();
-        assert!(r1 < r0 * 0.8, "Jacobi should damp the residual: {r0} -> {r1}");
+        assert!(
+            r1 < r0 * 0.8,
+            "Jacobi should damp the residual: {r0} -> {r1}"
+        );
     }
 }

@@ -191,7 +191,11 @@ impl LevelData {
                 for k in 1..=self.n {
                     grid.set(
                         &[i, j, k],
-                        f((i as f64 - 0.5) * h, (j as f64 - 0.5) * h, (k as f64 - 0.5) * h),
+                        f(
+                            (i as f64 - 0.5) * h,
+                            (j as f64 - 0.5) * h,
+                            (k as f64 - 0.5) * h,
+                        ),
                     );
                 }
             }

@@ -5,7 +5,7 @@
 //! compile cache. Swapping `Box<dyn Backend>` is the paper's entire
 //! porting story: the solver source does not change.
 
-use snowflake_backends::{Backend, CompileCache};
+use snowflake_backends::{Backend, CompileCache, RunReport};
 use snowflake_core::{Result, StencilGroup};
 use snowflake_grid::{Grid, GridSet};
 
@@ -34,6 +34,8 @@ pub struct SnowSolver {
     /// Prolongation operator.
     pub interp: InterpKind,
     cache: CompileCache,
+    /// Execution profile, populated while metrics collection is enabled.
+    report: Option<RunReport>,
     smooth: Vec<StencilGroup>,
     /// Chebyshev per-step groups (empty unless `smoother == Chebyshev`).
     cheby_steps: Vec<Vec<StencilGroup>>,
@@ -97,20 +99,19 @@ impl SnowSolver {
         let mut restrict_rhs_g = Vec::new();
         let mut interp_g = Vec::new();
         let mut interp_lin_g = Vec::new();
-        let cheby_coeffs =
-            crate::cheby::coefficients(crate::cheby::DEGREE, crate::cheby::EIG_MAX);
+        let cheby_coeffs = crate::cheby::coefficients(crate::cheby::DEGREE, crate::cheby::EIG_MAX);
         for (l, &n) in sizes.iter().enumerate() {
             let names = Names::level(l);
             let h2inv = (n * n) as f64;
-            smooth.push(gsrb_smooth_group(&names, coeff, problem.a, problem.b, h2inv));
+            smooth.push(gsrb_smooth_group(
+                &names, coeff, problem.a, problem.b, h2inv,
+            ));
             if smoother == Smoother::Chebyshev {
                 cheby_steps.push(
                     cheby_coeffs
                         .iter()
                         .map(|&(c1, c2)| {
-                            chebyshev_step_group(
-                                &names, coeff, problem.a, problem.b, h2inv, c1, c2,
-                            )
+                            chebyshev_step_group(&names, coeff, problem.a, problem.b, h2inv, c1, c2)
                         })
                         .collect(),
                 );
@@ -136,6 +137,7 @@ impl SnowSolver {
             bottom: BottomSolve::default(),
             interp: InterpKind::default(),
             cache,
+            report: None,
             smooth,
             cheby_steps,
             residual: residual_g,
@@ -179,12 +181,53 @@ impl SnowSolver {
         self
     }
 
+    /// Start collecting an execution profile. Every subsequent stencil
+    /// dispatch (smooths, residuals, transfers) accumulates into one
+    /// [`RunReport`]; read it with [`SnowSolver::metrics`] or drain it
+    /// with [`SnowSolver::take_metrics`].
+    pub fn enable_metrics(&mut self) {
+        if self.report.is_none() {
+            self.report = Some(RunReport::new());
+        }
+    }
+
+    /// The profile collected since [`SnowSolver::enable_metrics`], if any.
+    pub fn metrics(&self) -> Option<&RunReport> {
+        self.report.as_ref()
+    }
+
+    /// Take the collected profile, restarting collection from empty (or
+    /// `None` if metrics were never enabled).
+    pub fn take_metrics(&mut self) -> Option<RunReport> {
+        let taken = self.report.take();
+        if taken.is_some() {
+            self.report = Some(RunReport::new());
+        }
+        taken
+    }
+
+    /// Dispatch one stencil group through the compile cache, profiling
+    /// when metrics collection is on (free function over disjoint fields
+    /// so call sites can pass `&self.smooth[l]` alongside
+    /// `&mut self.grids`).
+    fn run_group(
+        cache: &CompileCache,
+        grids: &mut GridSet,
+        report: Option<&mut RunReport>,
+        group: &StencilGroup,
+    ) -> Result<()> {
+        match report {
+            Some(r) => cache.run_with_report(group, grids, r),
+            None => cache.run(group, grids),
+        }
+    }
+
     fn prolong(&mut self, l: usize) -> Result<()> {
         let group = match self.interp {
             InterpKind::Constant => self.interpolate[l].clone(),
             InterpKind::Linear => self.interpolate_linear[l].clone(),
         };
-        self.cache.run(&group, &mut self.grids)
+        Self::run_group(&self.cache, &mut self.grids, self.report.as_mut(), &group)
     }
 
     /// Run the coarse-grid solve at level `l`.
@@ -222,13 +265,18 @@ impl SnowSolver {
     /// Apply one smooth at level `l` using the configured smoother.
     pub fn smooth_level(&mut self, l: usize) -> Result<()> {
         match self.smoother {
-            Smoother::GsRb => self.cache.run(&self.smooth[l], &mut self.grids),
+            Smoother::GsRb => Self::run_group(
+                &self.cache,
+                &mut self.grids,
+                self.report.as_mut(),
+                &self.smooth[l],
+            ),
             Smoother::Chebyshev => {
                 let names = Names::level(l);
                 for step in 0..self.cheby_steps[l].len() {
                     let group = self.cheby_steps[l][step].clone();
-                    self.cache.run(&group, &mut self.grids)?;
-                    self.grids.swap_data(&names.x, &names.tmp);
+                    Self::run_group(&self.cache, &mut self.grids, self.report.as_mut(), &group)?;
+                    self.grids.swap_data(&names.x, &names.tmp)?;
                 }
                 Ok(())
             }
@@ -245,8 +293,18 @@ impl SnowSolver {
         for _ in 0..SMOOTHS_PER_LEG {
             self.smooth_level(l)?;
         }
-        self.cache.run(&self.residual[l], &mut self.grids)?;
-        self.cache.run(&self.restrict[l], &mut self.grids)?;
+        Self::run_group(
+            &self.cache,
+            &mut self.grids,
+            self.report.as_mut(),
+            &self.residual[l],
+        )?;
+        Self::run_group(
+            &self.cache,
+            &mut self.grids,
+            self.report.as_mut(),
+            &self.restrict[l],
+        )?;
         self.vcycle(l + 1)?;
         self.prolong(l)?;
         for _ in 0..SMOOTHS_PER_LEG {
@@ -259,7 +317,12 @@ impl SnowSolver {
     pub fn fcycle(&mut self) -> Result<()> {
         let last = self.sizes.len() - 1;
         for l in 0..last {
-            self.cache.run(&self.restrict_rhs[l], &mut self.grids)?;
+            Self::run_group(
+                &self.cache,
+                &mut self.grids,
+                self.report.as_mut(),
+                &self.restrict_rhs[l],
+            )?;
         }
         for l in 0..=last {
             self.grids
@@ -277,7 +340,12 @@ impl SnowSolver {
 
     /// Residual max-norm on the finest level.
     pub fn residual_norm(&mut self) -> Result<f64> {
-        self.cache.run(&self.residual[0], &mut self.grids)?;
+        Self::run_group(
+            &self.cache,
+            &mut self.grids,
+            self.report.as_mut(),
+            &self.residual[0],
+        )?;
         let n = self.sizes[0];
         let res = self.grids.get(&Names::level(0).res).expect("res grid");
         Ok(interior_norm_max(res, n))
@@ -367,8 +435,7 @@ mod tests {
 
     #[test]
     fn snow_omp_converges_vc() {
-        let mut s =
-            SnowSolver::new(Problem::poisson_vc(8), Box::new(OmpBackend::new())).unwrap();
+        let mut s = SnowSolver::new(Problem::poisson_vc(8), Box::new(OmpBackend::new())).unwrap();
         let norms = s.solve(5).unwrap();
         assert!(
             norms[5] / norms[0] < 1e-3,
@@ -382,8 +449,7 @@ mod tests {
         // two solvers should agree to near machine precision after a cycle.
         let p = Problem::poisson_vc(8);
         let mut hand_solver = crate::HandSolver::new(p);
-        let mut snow_solver =
-            SnowSolver::new(p, Box::new(SequentialBackend::new())).unwrap();
+        let mut snow_solver = SnowSolver::new(p, Box::new(SequentialBackend::new())).unwrap();
         hand_solver.levels[0].x.fill(0.0);
         hand_solver.vcycle(0);
         snow_solver.vcycle(0).unwrap();
@@ -396,8 +462,7 @@ mod tests {
     #[test]
     fn snow_chebyshev_matches_hand_chebyshev() {
         let p = Problem::poisson_vc(8);
-        let mut hand_solver =
-            crate::HandSolver::new(p).with_smoother(crate::Smoother::Chebyshev);
+        let mut hand_solver = crate::HandSolver::new(p).with_smoother(crate::Smoother::Chebyshev);
         let mut snow_solver = SnowSolver::with_smoother(
             p,
             Box::new(SequentialBackend::new()),
@@ -418,8 +483,7 @@ mod tests {
     fn snow_fcycle_matches_hand_fcycle() {
         let p = Problem::poisson_vc(8);
         let mut hand_solver = crate::HandSolver::new(p);
-        let mut snow_solver =
-            SnowSolver::new(p, Box::new(SequentialBackend::new())).unwrap();
+        let mut snow_solver = SnowSolver::new(p, Box::new(SequentialBackend::new())).unwrap();
         hand_solver.fcycle();
         snow_solver.fcycle().unwrap();
         let diff = hand_solver.levels[0].interior_diff_max(
@@ -475,8 +539,7 @@ mod tests {
     #[test]
     fn snow_and_hand_agree_with_bicgstab_bottom() {
         let p = Problem::poisson_vc(8);
-        let mut hand_solver =
-            crate::HandSolver::new(p).with_bottom(crate::BottomSolve::BiCgStab);
+        let mut hand_solver = crate::HandSolver::new(p).with_bottom(crate::BottomSolve::BiCgStab);
         let hn = hand_solver.solve(2);
         let mut snow_solver = SnowSolver::new(p, Box::new(SequentialBackend::new()))
             .unwrap()

@@ -146,7 +146,14 @@ pub fn jacobi_group(n: &Names, coeff: Coeff, a: f64, b: f64, h2inv: f64) -> Sten
 
 /// The bare operator application `out = A x` over the interior, with
 /// boundary stencils first (the Figure 7 "CC 7pt stencil" kernel).
-pub fn apply_op_group(n: &Names, out: &str, coeff: Coeff, a: f64, b: f64, h2inv: f64) -> StencilGroup {
+pub fn apply_op_group(
+    n: &Names,
+    out: &str,
+    coeff: Coeff,
+    a: f64,
+    b: f64,
+    h2inv: f64,
+) -> StencilGroup {
     let mut group = StencilGroup::new();
     for s in boundary_stencils(&n.x) {
         group.push(s);
@@ -199,19 +206,25 @@ pub fn restrict_expr(src: &str) -> Expr {
 pub fn restrict_group(fine: &Names, coarse: &Names) -> StencilGroup {
     StencilGroup::new()
         .with(
-            Stencil::new(restrict_expr(&fine.res), &coarse.rhs, RectDomain::interior(3))
-                .named("restrict"),
+            Stencil::new(
+                restrict_expr(&fine.res),
+                &coarse.rhs,
+                RectDomain::interior(3),
+            )
+            .named("restrict"),
         )
-        .with(
-            Stencil::new(Expr::Const(0.0), &coarse.x, RectDomain::all(3)).named("zero_coarse_x"),
-        )
+        .with(Stencil::new(Expr::Const(0.0), &coarse.x, RectDomain::all(3)).named("zero_coarse_x"))
 }
 
 /// F-cycle right-hand-side restriction: `coarse.rhs = R(fine.rhs)`.
 pub fn restrict_rhs_group(fine: &Names, coarse: &Names) -> StencilGroup {
     StencilGroup::from(
-        Stencil::new(restrict_expr(&fine.rhs), &coarse.rhs, RectDomain::interior(3))
-            .named("restrict_rhs"),
+        Stencil::new(
+            restrict_expr(&fine.rhs),
+            &coarse.rhs,
+            RectDomain::interior(3),
+        )
+        .named("restrict_rhs"),
     )
 }
 
@@ -264,9 +277,8 @@ pub fn interpolate_linear_group(coarse: &Names, fine: &Names) -> StencilGroup {
                         for ck in [0i64, 1] {
                             let mut w = 1.0f64;
                             let mut off = [0i64; 3];
-                            for (d, (t, c)) in [(ti, ci), (tj, cj), (tk, ck)]
-                                .into_iter()
-                                .enumerate()
+                            for (d, (t, c)) in
+                                [(ti, ci), (tj, cj), (tk, ck)].into_iter().enumerate()
                             {
                                 if c == 1 {
                                     w *= 0.25;
@@ -283,8 +295,8 @@ pub fn interpolate_linear_group(coarse: &Names, fine: &Names) -> StencilGroup {
                         }
                     }
                 }
-                let expr = Expr::read_mapped(&fine.x, out_map.clone())
-                    + acc.expect("eight corners");
+                let expr =
+                    Expr::read_mapped(&fine.x, out_map.clone()) + acc.expect("eight corners");
                 group.push(
                     Stencil::new(expr, &fine.x, RectDomain::interior(3))
                         .with_out_map(out_map)

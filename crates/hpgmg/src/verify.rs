@@ -78,8 +78,11 @@ mod tests {
     #[test]
     fn contraction_factor_reported() {
         let r = verify_hand(Problem::poisson_cc(8), 3);
-        assert!(r.contraction > 0.0 && r.contraction < 0.2,
-            "V(2,2) GSRB should contract by ~10x/cycle, got {}", r.contraction);
+        assert!(
+            r.contraction > 0.0 && r.contraction < 0.2,
+            "V(2,2) GSRB should contract by ~10x/cycle, got {}",
+            r.contraction
+        );
         assert_eq!(r.norms.len(), 4);
     }
 

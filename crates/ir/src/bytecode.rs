@@ -398,7 +398,11 @@ pub fn polynomialize(program: &Program) -> Option<PolyForm> {
     Some(PolyForm::from_terms(top.bias, top.terms))
 }
 
-fn poly_add_term(terms: &mut Vec<(f64, Vec<(u32, isize)>)>, coeff: f64, mut reads: Vec<(u32, isize)>) {
+fn poly_add_term(
+    terms: &mut Vec<(f64, Vec<(u32, isize)>)>,
+    coeff: f64,
+    mut reads: Vec<(u32, isize)>,
+) {
     reads.sort_unstable();
     if let Some(t) = terms.iter_mut().find(|t| t.1 == reads) {
         t.0 += coeff;
@@ -481,7 +485,8 @@ mod tests {
 
     #[test]
     fn shared_class_for_same_grid_and_scale() {
-        let e = Expr::read_at("x", &[0, 1]) + Expr::read_at("x", &[0, -1])
+        let e = Expr::read_at("x", &[0, 1])
+            + Expr::read_at("x", &[0, -1])
             + Expr::read_at("y", &[1, 0]);
         let (p, classes) = lower(&e);
         assert_eq!(classes.len(), 2, "x-translation and y-translation");
@@ -500,7 +505,10 @@ mod tests {
     #[test]
     fn scaled_reads_get_distinct_class() {
         let e = Expr::read_at("x", &[0, 0])
-            + Expr::read_mapped("x", snowflake_core::AffineMap::scaled(vec![2, 2], vec![0, 1]));
+            + Expr::read_mapped(
+                "x",
+                snowflake_core::AffineMap::scaled(vec![2, 2], vec![0, 1]),
+            );
         let (_, classes) = lower(&e);
         assert_eq!(classes.len(), 2);
         assert_eq!(classes[0].scale, vec![1, 1]);
@@ -595,8 +603,7 @@ mod tests {
         let cursors = vec![7isize; classes.len()];
         let direct = eval_checked(&p, &classes, &cursors, &grids);
         let via_lf = lf.bias
-            + lf
-                .terms
+            + lf.terms
                 .iter()
                 .map(|&(c, d, k)| k * data[(cursors[c as usize] + d) as usize])
                 .sum::<f64>();

@@ -28,5 +28,5 @@ pub mod tile;
 
 pub use bytecode::{Op, Program};
 pub use kernel::{AccessClass, LoweredKernel};
-pub use lower::{lower_group, Lowered, LowerOptions};
+pub use lower::{lower_group, LowerOptions, Lowered};
 pub use tile::{intersect_box, tile_region};

@@ -211,7 +211,10 @@ mod tests {
         .unwrap();
         assert_eq!(low.eliminated, 1);
         assert_eq!(low.kernels.len(), 1);
-        assert_eq!(low.kernels[0].out_grid, low.grid_names.iter().position(|g| g == "z").unwrap());
+        assert_eq!(
+            low.kernels[0].out_grid,
+            low.grid_names.iter().position(|g| g == "z").unwrap()
+        );
         assert_eq!(low.phases, vec![vec![0]]);
     }
 

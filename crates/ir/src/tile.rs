@@ -39,7 +39,10 @@ pub fn tile_region(region: &Region, tile: &[i64]) -> Vec<Region> {
 /// the intersection is empty.
 pub fn intersect_box(region: &Region, box_lo: &[i64], box_hi: &[i64]) -> Option<Region> {
     let nd = region.ndim();
-    assert!(box_lo.len() == nd && box_hi.len() == nd, "box rank mismatch");
+    assert!(
+        box_lo.len() == nd && box_hi.len() == nd,
+        "box rank mismatch"
+    );
     let mut lo = Vec::with_capacity(nd);
     let mut hi = Vec::with_capacity(nd);
     for d in 0..nd {
@@ -134,10 +137,7 @@ mod tests {
                 }
             }
         }
-        assert_eq!(
-            seen.len() as u64,
-            red.num_points() + red2.num_points()
-        );
+        assert_eq!(seen.len() as u64, red.num_points() + red2.num_points());
     }
 
     proptest! {

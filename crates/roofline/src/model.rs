@@ -46,7 +46,11 @@ impl StencilKind {
 
     /// All kinds in figure order.
     pub fn all() -> [StencilKind; 3] {
-        [StencilKind::Cc7pt, StencilKind::CcJacobi, StencilKind::VcGsrb]
+        [
+            StencilKind::Cc7pt,
+            StencilKind::CcJacobi,
+            StencilKind::VcGsrb,
+        ]
     }
 }
 

@@ -19,8 +19,14 @@ fn main() {
 
     let mut shapes = ShapeMap::new();
     for g in [
-        &names.x, &names.rhs, &names.res, &names.dinv, &names.alpha,
-        &names.beta_x, &names.beta_y, &names.beta_z,
+        &names.x,
+        &names.rhs,
+        &names.res,
+        &names.dinv,
+        &names.alpha,
+        &names.beta_x,
+        &names.beta_y,
+        &names.beta_z,
     ] {
         shapes.insert(g.clone(), vec![n + 2, n + 2, n + 2]);
     }
@@ -42,8 +48,11 @@ fn main() {
     }
     let sched = greedy_phases(&resolved);
     println!("\n  greedy barrier phases: {:?}", sched.phases);
-    println!("  ({} barriers for {} stencils — the 12 face stencils fused)",
-        sched.num_barriers(), resolved.len());
+    println!(
+        "  ({} barriers for {} stencils — the 12 face stencils fused)",
+        sched.num_barriers(),
+        resolved.len()
+    );
     let dag = dependence_dag(&resolved);
     let edges: usize = dag.iter().map(|e| e.len()).sum();
     println!("  dependence DAG: {edges} edges");

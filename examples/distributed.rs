@@ -16,9 +16,12 @@ fn main() {
     let gsrb_update = || {
         let x = |o: [i64; 3]| Expr::read_at("x", &o);
         let ax = 6.0 * x([0, 0, 0])
-            - x([1, 0, 0]) - x([-1, 0, 0])
-            - x([0, 1, 0]) - x([0, -1, 0])
-            - x([0, 0, 1]) - x([0, 0, -1]);
+            - x([1, 0, 0])
+            - x([-1, 0, 0])
+            - x([0, 1, 0])
+            - x([0, -1, 0])
+            - x([0, 0, 1])
+            - x([0, 0, -1]);
         x([0, 0, 0]) + Expr::Const(1.0 / 6.0) * (Expr::read_at("rhs", &[0, 0, 0]) - ax)
     };
     let faces = || -> Vec<Stencil> {

@@ -47,7 +47,10 @@ fn truncation_error(order: Order, n: usize, backend: &dyn Backend) -> f64 {
 fn main() {
     let backend = OmpBackend::new();
     println!("max truncation error of the DSL-generated Laplacian on sin(πx)sin(πy):\n");
-    println!("{:>6}  {:>12}  {:>12}  {:>12}", "n", "2nd order", "4th order", "6th order");
+    println!(
+        "{:>6}  {:>12}  {:>12}  {:>12}",
+        "n", "2nd order", "4th order", "6th order"
+    );
     let mut prev: Option<[f64; 3]> = None;
     for n in [17usize, 33, 65, 129] {
         let errs = [
@@ -55,7 +58,10 @@ fn main() {
             truncation_error(Order::Fourth, n, &backend),
             truncation_error(Order::Sixth, n, &backend),
         ];
-        print!("{n:>6}  {:>12.3e}  {:>12.3e}  {:>12.3e}", errs[0], errs[1], errs[2]);
+        print!(
+            "{n:>6}  {:>12.3e}  {:>12.3e}  {:>12.3e}",
+            errs[0], errs[1], errs[2]
+        );
         if let Some(p) = prev {
             print!(
                 "   (ratios: {:.1}x, {:.1}x, {:.1}x)",

@@ -41,8 +41,7 @@ fn main() {
 
     // --- Snowflake-driven solver -----------------------------------------
     println!("\n[Snowflake / {backend_name}]");
-    let mut solver =
-        SnowSolver::new(problem, backend_by_name(backend_name)).expect("build solver");
+    let mut solver = SnowSolver::new(problem, backend_by_name(backend_name)).expect("build solver");
     let t0 = Instant::now();
     let norms = solver.solve(cycles).expect("solve");
     let dt = t0.elapsed().as_secs_f64();

@@ -73,7 +73,7 @@ fn main() {
     let mut peak_track = Vec::new();
     for s in 1..=STEPS {
         cache.run(&step, &mut grids).expect("step");
-        grids.swap_data("u", "u_next");
+        grids.swap_data("u", "u_next").expect("ping-pong swap");
         if s % 160 == 0 {
             // Locate the pulse peak.
             let g = grids.get("u").unwrap();
@@ -91,7 +91,10 @@ fn main() {
     }
     let m1 = interior_mass(&grids, "u");
 
-    println!("\nupwind transport on a {0}x{0} torus, {STEPS} steps, CFL {c}", N - 2);
+    println!(
+        "\nupwind transport on a {0}x{0} torus, {STEPS} steps, CFL {c}",
+        N - 2
+    );
     for (s, (i, j, v)) in &peak_track {
         println!("  step {s:>4}: pulse peak at ({i:>2},{j:>2}), height {v:.3}");
     }

@@ -40,7 +40,11 @@ fn main() {
 
     // --- Figure 4, lines 15-18: Dirichlet boundary stencils --------------
     let face = |dom: RectDomain, off: [i64; 2]| {
-        Stencil::new(Expr::Neg(Box::new(Expr::read_at("mesh", &off))), "mesh", dom)
+        Stencil::new(
+            Expr::Neg(Box::new(Expr::read_at("mesh", &off))),
+            "mesh",
+            dom,
+        )
     };
     let faces = || {
         vec![
@@ -88,25 +92,40 @@ fn main() {
     let mut grids = GridSet::new();
     grids.insert("mesh", Grid::new(&[N, N]));
     grids.insert("res", Grid::new(&[N, N]));
-    grids.insert("rhs", Grid::from_fn(&[N, N], |p| {
-        // A smooth forcing term.
-        let (x, y) = (cc(p[0]), cc(p[1]));
-        (std::f64::consts::PI * x).sin() * (std::f64::consts::PI * y).sin()
-    }));
-    grids.insert("beta_x", Grid::from_fn(&[N, N], |p| beta(fcx(p[0]), cc(p[1]))));
-    grids.insert("beta_y", Grid::from_fn(&[N, N], |p| beta(cc(p[0]), fcx(p[1]))));
+    grids.insert(
+        "rhs",
+        Grid::from_fn(&[N, N], |p| {
+            // A smooth forcing term.
+            let (x, y) = (cc(p[0]), cc(p[1]));
+            (std::f64::consts::PI * x).sin() * (std::f64::consts::PI * y).sin()
+        }),
+    );
+    grids.insert(
+        "beta_x",
+        Grid::from_fn(&[N, N], |p| beta(fcx(p[0]), cc(p[1]))),
+    );
+    grids.insert(
+        "beta_y",
+        Grid::from_fn(&[N, N], |p| beta(cc(p[0]), fcx(p[1]))),
+    );
     // λ = the inverse diagonal of A (exact Gauss-Seidel step).
     let bx = grids.get("beta_x").unwrap().clone();
     let by = grids.get("beta_y").unwrap().clone();
-    grids.insert("lambda", Grid::from_fn(&[N, N], |p| {
-        let (i, j) = (p[0], p[1]);
-        if i == 0 || j == 0 || i == N - 1 || j == N - 1 {
-            0.0
-        } else {
-            1.0 / (h2inv
-                * (bx.get(&[i + 1, j]) + bx.get(&[i, j]) + by.get(&[i, j + 1]) + by.get(&[i, j])))
-        }
-    }));
+    grids.insert(
+        "lambda",
+        Grid::from_fn(&[N, N], |p| {
+            let (i, j) = (p[0], p[1]);
+            if i == 0 || j == 0 || i == N - 1 || j == N - 1 {
+                0.0
+            } else {
+                1.0 / (h2inv
+                    * (bx.get(&[i + 1, j])
+                        + bx.get(&[i, j])
+                        + by.get(&[i, j + 1])
+                        + by.get(&[i, j])))
+            }
+        }),
+    );
 
     // --- Compile once, run many (the JIT cache) ---------------------------
     let cache = CompileCache::new(Box::new(OmpBackend::new()));

@@ -61,18 +61,30 @@ fn main() {
     let beta = |x: f64, y: f64| 1.0 + 0.5 * (4.0 * x).sin() * (3.0 * y).cos();
     let cc = |i: usize| (i as f64 - 0.5) * h;
     let fc = |i: usize| (i as f64 - 1.0) * h;
-    grids.insert("beta_x", Grid::from_fn(&[n, n], |p| beta(fc(p[0]), cc(p[1]))));
-    grids.insert("beta_y", Grid::from_fn(&[n, n], |p| beta(cc(p[0]), fc(p[1]))));
+    grids.insert(
+        "beta_x",
+        Grid::from_fn(&[n, n], |p| beta(fc(p[0]), cc(p[1]))),
+    );
+    grids.insert(
+        "beta_y",
+        Grid::from_fn(&[n, n], |p| beta(cc(p[0]), fc(p[1]))),
+    );
     let bx = grids.get("beta_x").unwrap().clone();
     let by = grids.get("beta_y").unwrap().clone();
-    grids.insert("lambda", Grid::from_fn(&[n, n], |p| {
-        let (i, j) = (p[0], p[1]);
-        if i == 0 || j == 0 || i == n - 1 || j == n - 1 {
-            0.0
-        } else {
-            1.0 / (bx.get(&[i + 1, j]) + bx.get(&[i, j]) + by.get(&[i, j + 1]) + by.get(&[i, j]))
-        }
-    }));
+    grids.insert(
+        "lambda",
+        Grid::from_fn(&[n, n], |p| {
+            let (i, j) = (p[0], p[1]);
+            if i == 0 || j == 0 || i == n - 1 || j == n - 1 {
+                0.0
+            } else {
+                1.0 / (bx.get(&[i + 1, j])
+                    + bx.get(&[i, j])
+                    + by.get(&[i, j + 1])
+                    + by.get(&[i, j]))
+            }
+        }),
+    );
 
     // --- analyze ----------------------------------------------------------
     let shapes = grids.shapes();

@@ -22,9 +22,8 @@ fn main() {
         + Expr::Const(courant2) * lap_now;
 
     // Reflecting (Neumann-ish) boundary: ghost = inside value.
-    let face = |dom: RectDomain, off: [i64; 2]| {
-        Stencil::new(Expr::read_at("u_now", &off), "u_now", dom)
-    };
+    let face =
+        |dom: RectDomain, off: [i64; 2]| Stencil::new(Expr::read_at("u_now", &off), "u_now", dom);
     let mut step = StencilGroup::new();
     step.push(face(RectDomain::new(&[0, 1], &[0, -1], &[0, 1]), [1, 0]));
     step.push(face(RectDomain::new(&[-1, 1], &[-1, -1], &[0, 1]), [-1, 0]));
@@ -65,7 +64,10 @@ fn main() {
     }
     let dt = t0.elapsed().as_secs_f64();
 
-    println!("2-D wave equation, {0}x{0} grid, {STEPS} leapfrog steps", N - 2);
+    println!(
+        "2-D wave equation, {0}x{0} grid, {STEPS} leapfrog steps",
+        N - 2
+    );
     for (s, e) in &energy_history {
         println!("  step {s:>4}: ||u||_2 = {e:.4}");
     }

@@ -1,0 +1,284 @@
+//! A hermetic, dependency-free stand-in for the subset of [criterion]
+//! this workspace's benches use: `Criterion`, `benchmark_group`,
+//! `bench_function`, `Bencher::iter`, `BenchmarkId`, `Throughput`, and
+//! the `criterion_group!`/`criterion_main!` macros.
+//!
+//! The container building this repo has no registry access, so the real
+//! criterion cannot be fetched. This shim keeps the same source-level API
+//! with a much simpler measurement model: per benchmark it warms up for
+//! `warm_up_time`, sizes an iteration batch from a pilot run, takes
+//! `sample_size` timed samples within `measurement_time`, and prints the
+//! best and mean time per iteration (plus throughput when configured).
+//! There is no statistical analysis, HTML report, or baseline storage.
+//!
+//! [criterion]: https://docs.rs/criterion
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver, passed to each `criterion_group!` target.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Benchmark a routine directly under the top level.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = BenchmarkGroup {
+            name: String::new(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            throughput: None,
+            _parent: self,
+        };
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Units for reporting throughput alongside time-per-iteration.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A labelled benchmark id: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name with a parameter label.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Anything `bench_function` accepts as an id.
+pub trait IntoBenchmarkId {
+    /// Render the id as the printed benchmark label.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// A group of benchmarks sharing sampling settings and throughput units.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _parent: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Warm-up period before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target total time across all samples.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Report throughput per iteration with the given units.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark one routine.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = match (self.name.as_str(), id.into_id()) {
+            ("", id) => id,
+            (group, id) => format!("{group}/{id}"),
+        };
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            best: Duration::ZERO,
+            mean: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let mut line = format!(
+            "{label:<48} time: [best {:>12?}  mean {:>12?}]",
+            bencher.best, bencher.mean
+        );
+        if let Some(t) = self.throughput {
+            let secs = bencher.mean.as_secs_f64();
+            if secs > 0.0 {
+                match t {
+                    Throughput::Elements(n) => {
+                        line += &format!("  thrpt: {:.3e} elem/s", n as f64 / secs)
+                    }
+                    Throughput::Bytes(n) => {
+                        line += &format!(
+                            "  thrpt: {:.3} GiB/s",
+                            n as f64 / secs / (1u64 << 30) as f64
+                        )
+                    }
+                }
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    /// End the group (printing is already done per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] exactly once.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    best: Duration,
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, storing best/mean time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Pilot + warm-up: run until the warm-up budget is spent, counting
+        // calls so we can size measurement batches.
+        let warm_start = Instant::now();
+        let mut pilot_calls = 0u64;
+        loop {
+            std::hint::black_box(routine());
+            pilot_calls += 1;
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let per_call = warm_start.elapsed().as_secs_f64() / pilot_calls as f64;
+
+        // Size each sample so all samples fit the measurement budget.
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters = ((budget / per_call.max(1e-9)) as u64).clamp(1, 1_000_000_000);
+
+        let mut best = Duration::MAX;
+        let mut total = Duration::ZERO;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let dt = t0.elapsed();
+            best = best.min(dt / iters as u32);
+            total += dt;
+        }
+        self.best = best;
+        self.mean = total / (self.sample_size as u32 * iters as u32).max(1);
+    }
+}
+
+/// Collect benchmark target functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main()` running the given groups (honours `--bench`-style
+/// invocation by ignoring unknown CLI arguments, as cargo passes some).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes `--bench`/filter args; this shim runs
+            // everything regardless.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_a_trivial_routine() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        g.throughput(Throughput::Elements(4));
+        let mut ran = false;
+        g.bench_function(BenchmarkId::new("noop", 1), |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            ran = true;
+        });
+        g.finish();
+        assert!(ran);
+    }
+}

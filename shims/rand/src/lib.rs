@@ -1,0 +1,6 @@
+//! Hermetic placeholder for the `rand` dev-dependency.
+//!
+//! The workspace declares `rand` but does not currently call into it
+//! (grids ship their own deterministic `fill_random`); this empty crate
+//! satisfies the dependency graph without network access. Grow it into a
+//! real API-subset shim (like `shims/rayon`) if code starts using rand.

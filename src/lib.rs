@@ -54,7 +54,7 @@ pub use snowflake_ir as ir;
 pub mod prelude {
     pub use snowflake_backends::{
         Backend, CJitBackend, CompileCache, Executable, InterpreterBackend, OclSimBackend,
-        OmpBackend, SequentialBackend,
+        OmpBackend, RunReport, SequentialBackend,
     };
     pub use snowflake_core::{
         weights1, weights2, weights3, AffineMap, Component, DomainUnion, Expr, RectDomain,

@@ -102,7 +102,10 @@ fn dead_stencil_elimination_through_lowering() {
     let group = StencilGroup::new()
         .with(Stencil::new(lap.clone(), "scratch", RectDomain::interior(3)).named("dead"))
         .with(Stencil::new(lap.clone(), "y", RectDomain::interior(3)).named("live"))
-        .with(Stencil::new(Expr::read_at("y", &[0, 0, 0]), "z", RectDomain::interior(3)).named("consumer"));
+        .with(
+            Stencil::new(Expr::read_at("y", &[0, 0, 0]), "z", RectDomain::interior(3))
+                .named("consumer"),
+        );
     let shapes = shapes3(8, &["x", "y", "z", "scratch"]);
     let lowered = lower_group(
         &group,
@@ -141,7 +144,10 @@ fn dead_stencil_elimination_through_lowering() {
         .unwrap()
         .run(&mut dce)
         .unwrap();
-    assert_eq!(full.get("z").unwrap().max_abs_diff(dce.get("z").unwrap()), 0.0);
+    assert_eq!(
+        full.get("z").unwrap().max_abs_diff(dce.get("z").unwrap()),
+        0.0
+    );
 }
 
 /// The dependence DAG over a whole GSRB sweep has the structure §IV-A's
@@ -153,8 +159,14 @@ fn gsrb_dag_structure() {
     let group = gsrb_smooth_group(&names, Coeff::Variable, 0.0, 1.0, 100.0);
     let mut shapes = snowflake::core::ShapeMap::new();
     for g in [
-        &names.x, &names.rhs, &names.res, &names.dinv, &names.alpha,
-        &names.beta_x, &names.beta_y, &names.beta_z,
+        &names.x,
+        &names.rhs,
+        &names.res,
+        &names.dinv,
+        &names.alpha,
+        &names.beta_x,
+        &names.beta_y,
+        &names.beta_z,
     ] {
         shapes.insert(g.clone(), vec![12, 12, 12]);
     }
@@ -165,16 +177,18 @@ fn gsrb_dag_structure() {
         .collect();
     let dag = dependence_dag(&resolved);
     // Stencils 0-5: first faces; 6: red; 7-12: faces; 13: black.
-    for f in 0..6 {
-        assert!(dag[f].is_empty(), "first faces must be roots");
+    for deps in &dag[0..6] {
+        assert!(deps.is_empty(), "first faces must be roots");
     }
     assert_eq!(dag[6].len(), 6, "red depends on exactly the six faces");
-    for f in 7..13 {
+    for deps in &dag[7..13] {
         // Later faces depend on red (they re-fill ghosts from updated x)
         // and WAW with the matching earlier face.
-        assert!(dag[f].iter().any(|&(i, _)| i == 6));
-        assert!(!dag[f].iter().any(|&(i, _)| (7..13).contains(&i)),
-            "faces are mutually independent");
+        assert!(deps.iter().any(|&(i, _)| i == 6));
+        assert!(
+            !deps.iter().any(|&(i, _)| (7..13).contains(&i)),
+            "faces are mutually independent"
+        );
     }
     assert!(dag[13].iter().any(|&(i, _)| (7..13).contains(&i)));
 }
@@ -184,9 +198,21 @@ fn gsrb_dag_structure() {
 #[test]
 fn dead_elimination_keeps_schedule_consistent() {
     let group = StencilGroup::new()
-        .with(Stencil::new(Expr::read_at("x", &[0, 0, 0]), "a", RectDomain::interior(3)))
-        .with(Stencil::new(Expr::read_at("x", &[0, 0, 0]), "b", RectDomain::interior(3)))
-        .with(Stencil::new(Expr::read_at("b", &[0, 0, 0]), "c", RectDomain::interior(3)));
+        .with(Stencil::new(
+            Expr::read_at("x", &[0, 0, 0]),
+            "a",
+            RectDomain::interior(3),
+        ))
+        .with(Stencil::new(
+            Expr::read_at("x", &[0, 0, 0]),
+            "b",
+            RectDomain::interior(3),
+        ))
+        .with(Stencil::new(
+            Expr::read_at("b", &[0, 0, 0]),
+            "c",
+            RectDomain::interior(3),
+        ));
     let shapes = shapes3(6, &["x", "a", "b", "c"]);
     let resolved: Vec<_> = group
         .stencils()

@@ -14,7 +14,11 @@ fn backends() -> Vec<Box<dyn Backend>> {
     vec![
         Box::new(SequentialBackend::new()),
         Box::new(OmpBackend::new()),
-        Box::new(OmpBackend::new().with_tile(vec![3, 5]).with_multicolor(true)),
+        Box::new(
+            OmpBackend::new()
+                .with_tile(vec![3, 5])
+                .with_multicolor(true),
+        ),
         Box::new(OclSimBackend::new().with_workgroup(2, 4)),
     ]
 }
@@ -70,8 +74,10 @@ fn equivalence_on_out_of_place_laplacian() {
     );
 }
 
-#[test]
-fn equivalence_on_figure4_vc_gsrb_with_boundaries() {
+/// The paper's Figure 4-style 2-D VC GSRB smooth with interleaved
+/// Dirichlet boundary faces (shared by the equivalence and the
+/// instrumentation tests below).
+fn figure4_gsrb_group() -> StencilGroup {
     let m = |i: i64, j: i64| Expr::read_at("mesh", &[i, j]);
     let ax = Expr::read_at("bx", &[1, 0]) * (m(1, 0) - m(0, 0))
         - Expr::read_at("bx", &[0, 0]) * (m(0, 0) - m(-1, 0))
@@ -80,7 +86,11 @@ fn equivalence_on_figure4_vc_gsrb_with_boundaries() {
     let update = m(0, 0) + 0.21 * (Expr::read_at("rhs", &[0, 0]) - ax);
     let (red, black) = DomainUnion::red_black(2);
     let face = |dom: RectDomain, off: [i64; 2]| {
-        Stencil::new(Expr::Neg(Box::new(Expr::read_at("mesh", &off))), "mesh", dom)
+        Stencil::new(
+            Expr::Neg(Box::new(Expr::read_at("mesh", &off))),
+            "mesh",
+            dom,
+        )
     };
     let mut group = StencilGroup::new();
     for f in [
@@ -93,25 +103,105 @@ fn equivalence_on_figure4_vc_gsrb_with_boundaries() {
     }
     group.push(Stencil::new(update.clone(), "mesh", red));
     group.push(Stencil::new(update, "mesh", black));
+    group
+}
 
-    run_all(
-        &group,
-        || {
-            let mut gs = GridSet::new();
-            for (name, seed, lo, hi) in [
-                ("mesh", 1u64, -1.0, 1.0),
-                ("rhs", 2, -1.0, 1.0),
-                ("bx", 3, 0.5, 1.5),
-                ("by", 4, 0.5, 1.5),
-            ] {
-                let mut g = Grid::new(&[17, 17]);
-                g.fill_random(seed, lo, hi);
-                gs.insert(name, g);
-            }
-            gs
-        },
-        1e-12,
-    );
+fn figure4_gsrb_grids() -> GridSet {
+    let mut gs = GridSet::new();
+    for (name, seed, lo, hi) in [
+        ("mesh", 1u64, -1.0, 1.0),
+        ("rhs", 2, -1.0, 1.0),
+        ("bx", 3, 0.5, 1.5),
+        ("by", 4, 0.5, 1.5),
+    ] {
+        let mut g = Grid::new(&[17, 17]);
+        g.fill_random(seed, lo, hi);
+        gs.insert(name, g);
+    }
+    gs
+}
+
+#[test]
+fn equivalence_on_figure4_vc_gsrb_with_boundaries() {
+    run_all(&figure4_gsrb_group(), figure4_gsrb_grids, 1e-12);
+}
+
+/// Instrumented execution must not change the computed values: `run` and
+/// `run_with_report` produce bitwise-identical grids on the GSRB group
+/// across every CPU backend.
+#[test]
+fn run_with_report_is_bitwise_identical_to_run() {
+    let group = figure4_gsrb_group();
+    let shapes = figure4_gsrb_grids().shapes();
+    for backend in backends() {
+        let exe = backend
+            .compile(&group, &shapes)
+            .unwrap_or_else(|e| panic!("{} compile: {e}", backend.name()));
+        let mut plain = figure4_gsrb_grids();
+        exe.run(&mut plain)
+            .unwrap_or_else(|e| panic!("{} run: {e}", backend.name()));
+        let mut profiled = figure4_gsrb_grids();
+        let mut report = RunReport::new();
+        exe.run_with_report(&mut profiled, &mut report)
+            .unwrap_or_else(|e| panic!("{} run_with_report: {e}", backend.name()));
+        for name in plain.names() {
+            let diff = plain
+                .get(name)
+                .unwrap()
+                .max_abs_diff(profiled.get(name).unwrap());
+            assert_eq!(
+                diff,
+                0.0,
+                "backend {} not bitwise identical on {name:?}",
+                backend.name()
+            );
+        }
+        assert_eq!(report.backend, backend.name());
+        assert_eq!(report.runs, 1);
+        assert!(report.kernels.points > 0, "{}", backend.name());
+        assert!(report.kernels.tiles > 0, "{}", backend.name());
+        assert!(report.run_seconds > 0.0, "{}", backend.name());
+    }
+}
+
+/// The phase table of an instrumented run lines up with the analysis
+/// schedule: one [`PhaseSample`] slot per greedy barrier phase.
+///
+/// [`PhaseSample`]: snowflake::backends::PhaseSample
+#[test]
+fn report_phase_count_matches_analysis_schedule() {
+    use snowflake::analysis::{greedy_phases, ResolvedStencil};
+
+    let group = figure4_gsrb_group();
+    let shapes = figure4_gsrb_grids().shapes();
+    let resolved: Vec<_> = group
+        .stencils()
+        .iter()
+        .map(|s| ResolvedStencil::resolve(s, &shapes).unwrap())
+        .collect();
+    let schedule_phases = greedy_phases(&resolved).phases.len();
+    assert!(schedule_phases >= 2, "GSRB must need multiple barriers");
+
+    for backend in [
+        Box::new(SequentialBackend::new()) as Box<dyn Backend>,
+        Box::new(OmpBackend::new()),
+        Box::new(OclSimBackend::new().with_workgroup(2, 4)),
+    ] {
+        let exe = backend.compile(&group, &shapes).unwrap();
+        let mut grids = figure4_gsrb_grids();
+        let mut report = RunReport::new();
+        exe.run_with_report(&mut grids, &mut report).unwrap();
+        assert_eq!(
+            report.phases.len(),
+            schedule_phases,
+            "backend {} phase table diverges from the analysis schedule",
+            backend.name()
+        );
+        // Repeated runs accumulate into the same slots.
+        exe.run_with_report(&mut grids, &mut report).unwrap();
+        assert_eq!(report.phases.len(), schedule_phases);
+        assert_eq!(report.runs, 2);
+    }
 }
 
 #[test]

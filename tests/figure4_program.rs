@@ -45,7 +45,11 @@ fn figure4_group() -> (StencilGroup, StencilGroup) {
     // Lines 15-18: Dirichlet zero boundary; one shown in the paper, the
     // others rotationally equivalent.
     let face = |dom: RectDomain, off: [i64; 2]| {
-        Stencil::new(Expr::Neg(Box::new(Expr::read_at("mesh", &off))), "mesh", dom)
+        Stencil::new(
+            Expr::Neg(Box::new(Expr::read_at("mesh", &off))),
+            "mesh",
+            dom,
+        )
     };
     let faces = [
         face(RectDomain::new(&[1, -1], &[-1, -1], &[1, 0]), [0, -1]), // top (paper's)
@@ -73,8 +77,7 @@ fn figure4_group() -> (StencilGroup, StencilGroup) {
     let bot2 = Component::read_at("beta_x", &[0, 0]);
     let left2 = Component::read_at("beta_y", &[0, 0]);
     let right2 = Component::read_at("beta_y", &[0, 1]);
-    let ax2 = (top2.clone() + bot2.clone() + left2.clone() + right2.clone())
-        * m2(0, 0)
+    let ax2 = (top2.clone() + bot2.clone() + left2.clone() + right2.clone()) * m2(0, 0)
         - top2 * m2(1, 0)
         - bot2 * m2(-1, 0)
         - right2 * m2(0, 1)
@@ -108,7 +111,10 @@ fn make_grids() -> GridSet {
             if i == 0 || j == 0 || i == N - 1 || j == N - 1 {
                 0.0
             } else {
-                1.0 / (bx.get(&[i + 1, j]) + bx.get(&[i, j]) + by.get(&[i, j + 1]) + by.get(&[i, j]))
+                1.0 / (bx.get(&[i + 1, j])
+                    + bx.get(&[i, j])
+                    + by.get(&[i, j + 1])
+                    + by.get(&[i, j]))
             }
         }),
     );
@@ -172,7 +178,5 @@ fn figure4_backends_agree() {
         seq.run(&mut a).unwrap();
         ocl.run(&mut b).unwrap();
     }
-    assert!(
-        a.get("mesh").unwrap().max_abs_diff(b.get("mesh").unwrap()) < 1e-12
-    );
+    assert!(a.get("mesh").unwrap().max_abs_diff(b.get("mesh").unwrap()) < 1e-12);
 }

@@ -3,9 +3,7 @@
 //! backend, converges at textbook multigrid rates, and amortizes JIT
 //! compilation through the cache.
 
-use snowflake::backends::{
-    Backend, CJitBackend, OclSimBackend, OmpBackend, SequentialBackend,
-};
+use snowflake::backends::{Backend, CJitBackend, OclSimBackend, OmpBackend, SequentialBackend};
 use snowflake::hpgmg::verify::{assert_reports_match, verify_hand, verify_snow};
 use snowflake::hpgmg::{HandSolver, Problem, Smoother, SnowSolver};
 
@@ -86,7 +84,10 @@ fn cache_amortizes_compilation_across_cycles() {
     // 3 levels: 3 smooth + 3 residual + 2 × (restrict + restrict_rhs +
     // interp_pc + interp_linear) = 14 groups.
     assert_eq!(misses, 14, "one compilation per distinct (group, shape)");
-    assert!(hits >= 4 * misses, "cycles must reuse the JIT cache: {hits} hits");
+    assert!(
+        hits >= 4 * misses,
+        "cycles must reuse the JIT cache: {hits} hits"
+    );
 }
 
 #[test]
@@ -131,10 +132,12 @@ fn fcycle_start_accelerates_convergence() {
         nf[1] < nv[1],
         "F-cycle first step should beat a zero-guess V-cycle: {nf:?} vs {nv:?}"
     );
-    assert!(nf[3] <= nv[3] * 10.0, "and not hurt the tail: {nf:?} vs {nv:?}");
+    assert!(
+        nf[3] <= nv[3] * 10.0,
+        "and not hurt the tail: {nf:?} vs {nv:?}"
+    );
     // Snowflake F-cycle agrees with hand.
-    let mut snow =
-        SnowSolver::new(p, Box::new(SequentialBackend::new())).unwrap();
+    let mut snow = SnowSolver::new(p, Box::new(SequentialBackend::new())).unwrap();
     let ns = snow.solve_opts(3, true).unwrap();
     for (a, b) in nf.iter().zip(&ns) {
         assert!(((a - b) / a.abs().max(1e-300)).abs() < 1e-7, "{a} vs {b}");
