@@ -109,9 +109,15 @@ impl CompileCache {
         (s.hits, s.misses)
     }
 
-    /// Hit/miss/insert counters, read atomically under the cache lock.
+    /// Hit/miss/insert counters, read atomically under the cache lock,
+    /// plus the wrapped backend's on-disk artifact counters (non-zero only
+    /// for the C JIT backend).
     pub fn cache_stats(&self) -> CacheStats {
-        self.state.lock().unwrap().stats
+        let mut stats = self.state.lock().unwrap().stats;
+        let (disk_hits, disk_misses) = self.backend.disk_cache_stats();
+        stats.disk_hits = disk_hits;
+        stats.disk_misses = disk_misses;
+        stats
     }
 }
 

@@ -46,6 +46,14 @@ pub struct DistBackend {
     pub options: LowerOptions,
 }
 
+impl Default for DistBackend {
+    /// Two simulated ranks: the smallest configuration that exercises the
+    /// halo-exchange schedule.
+    fn default() -> Self {
+        DistBackend::new(2)
+    }
+}
+
 impl DistBackend {
     /// Backend with `ranks` simulated processes.
     pub fn new(ranks: usize) -> Self {
@@ -54,6 +62,19 @@ impl DistBackend {
             ranks,
             options: LowerOptions::default(),
         }
+    }
+
+    /// Set the simulated rank count (builder style).
+    pub fn with_ranks(mut self, ranks: usize) -> Self {
+        assert!(ranks >= 1, "need at least one rank");
+        self.ranks = ranks;
+        self
+    }
+
+    /// Set the lowering options (builder style).
+    pub fn with_options(mut self, options: LowerOptions) -> Self {
+        self.options = options;
+        self
     }
 }
 

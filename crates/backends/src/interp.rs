@@ -16,6 +16,14 @@ use crate::{Backend, Executable};
 #[derive(Clone, Copy, Debug, Default)]
 pub struct InterpreterBackend;
 
+impl InterpreterBackend {
+    /// The interpreter has no knobs; `new` exists for construction
+    /// uniformity with every other backend.
+    pub fn new() -> Self {
+        InterpreterBackend
+    }
+}
+
 impl Backend for InterpreterBackend {
     fn name(&self) -> &'static str {
         "interp"

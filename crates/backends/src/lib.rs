@@ -20,7 +20,12 @@
 //!
 //! All backends implement [`Backend`] and produce [`Executable`]s; a
 //! [`CompileCache`] memoizes compilation per (group, shapes), mirroring the
-//! paper's cached callables.
+//! paper's cached callables. [`plan::SolverPlan`] builds on the cache to
+//! give solvers a *plan-once-run-many* pipeline: a fixed operator list is
+//! compiled up front into a flat table and dispatched by index, with zero
+//! per-call hashing or locking. [`registry`] constructs any backend by
+//! name from one [`BackendOptions`] bag, so drivers select implementations
+//! with a string instead of duplicated match arms.
 
 pub mod cache;
 pub mod cjit;
@@ -33,6 +38,8 @@ pub mod interp;
 pub mod metrics;
 pub mod oclsim;
 pub mod omp;
+pub mod plan;
+pub mod registry;
 pub mod seq;
 pub mod view;
 
@@ -46,6 +53,8 @@ pub use interp::InterpreterBackend;
 pub use metrics::{CacheStats, CommStats, KernelCounters, PhaseSample, RunReport};
 pub use oclsim::OclSimBackend;
 pub use omp::OmpBackend;
+pub use plan::SolverPlan;
+pub use registry::{available_backends, backend_from_name, BackendOptions};
 pub use seq::SequentialBackend;
 
 /// A compiled stencil group, ready to run against a [`GridSet`].
@@ -87,6 +96,13 @@ pub trait Backend: Send + Sync {
 
     /// Compile the group for the given shapes.
     fn compile(&self, group: &StencilGroup, shapes: &ShapeMap) -> Result<Box<dyn Executable>>;
+
+    /// `(hits, misses)` of this backend's persistent on-disk artifact
+    /// cache. Only the C JIT backend has one; everything else reports
+    /// zeros via this default.
+    fn disk_cache_stats(&self) -> (u64, u64) {
+        (0, 0)
+    }
 }
 
 /// Convenience: compile a group against the shapes of an existing grid set

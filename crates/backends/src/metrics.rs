@@ -22,6 +22,10 @@
 use std::fmt::Write as _;
 
 /// Compile-cache counters, maintained under the cache's single lock.
+///
+/// `disk_hits`/`disk_misses` count the persistent artifact cache of the
+/// C JIT backend (a compile that loaded a previously-built `.so` instead
+/// of invoking `cc`); they stay zero for the pure-Rust backends.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups served from the cache.
@@ -30,6 +34,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Executables inserted (misses whose compile succeeded).
     pub inserts: u64,
+    /// Compiles served from the on-disk artifact cache (cjit only).
+    pub disk_hits: u64,
+    /// Compiles that had to invoke the C compiler (cjit only).
+    pub disk_misses: u64,
 }
 
 /// Communication statistics of the distributed backend (halo exchange).
@@ -75,6 +83,9 @@ pub struct RunReport {
     pub backend: String,
     /// Runs recorded.
     pub runs: u64,
+    /// Operators in the feeding [`crate::plan::SolverPlan`] (zero when the
+    /// report was filled by direct per-call dispatch).
+    pub plan_ops: u64,
     /// Seconds spent compiling (micro-compiler + cache lookups).
     pub compile_seconds: f64,
     /// Seconds spent executing.
@@ -125,9 +136,10 @@ impl RunReport {
         s.push('{');
         let _ = write!(
             s,
-            "\"backend\":{},\"runs\":{},\"compile_seconds\":{},\"run_seconds\":{}",
+            "\"backend\":{},\"runs\":{},\"plan_ops\":{},\"compile_seconds\":{},\"run_seconds\":{}",
             json::escape(&self.backend),
             self.runs,
+            self.plan_ops,
             json::number(self.compile_seconds),
             json::number(self.run_seconds),
         );
@@ -140,8 +152,13 @@ impl RunReport {
         );
         let _ = write!(
             s,
-            ",\"cache\":{{\"hits\":{},\"misses\":{},\"inserts\":{}}}",
-            self.cache.hits, self.cache.misses, self.cache.inserts
+            ",\"cache\":{{\"hits\":{},\"misses\":{},\"inserts\":{},\
+             \"disk_hits\":{},\"disk_misses\":{}}}",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.inserts,
+            self.cache.disk_hits,
+            self.cache.disk_misses
         );
         let _ = write!(
             s,
@@ -468,7 +485,10 @@ mod tests {
             hits: 5,
             misses: 2,
             inserts: 2,
+            disk_hits: 1,
+            disk_misses: 1,
         };
+        r.plan_ops = 7;
         r.comm = CommStats {
             messages: 4,
             bytes: 4096,
@@ -501,9 +521,12 @@ mod tests {
         assert_eq!(k.get("points").unwrap().as_u64(), Some(1000));
         assert_eq!(k.get("fused").unwrap().as_u64(), Some(2));
         assert_eq!(k.get("sequential_tasks").unwrap().as_u64(), Some(1));
+        assert_eq!(doc.get("plan_ops").unwrap().as_u64(), Some(7));
         let c = doc.get("cache").unwrap();
         assert_eq!(c.get("hits").unwrap().as_u64(), Some(5));
         assert_eq!(c.get("inserts").unwrap().as_u64(), Some(2));
+        assert_eq!(c.get("disk_hits").unwrap().as_u64(), Some(1));
+        assert_eq!(c.get("disk_misses").unwrap().as_u64(), Some(1));
         let comm = doc.get("comm").unwrap();
         assert_eq!(comm.get("bytes").unwrap().as_u64(), Some(4096));
         let phases = doc.get("phases").unwrap().as_array().unwrap();

@@ -89,6 +89,13 @@ impl OmpBackend {
         self
     }
 
+    /// Enable or disable thread-pool execution (serial keeps the same
+    /// schedule, for ablations).
+    pub fn with_parallel(mut self, on: bool) -> Self {
+        self.omp.parallel = on;
+        self
+    }
+
     /// Empirically select the best tile shape among `candidates` by timing
     /// `reps` runs of the compiled group per candidate (best wall time
     /// wins) — the paper's "method of tuning tiling sizes" realized as a

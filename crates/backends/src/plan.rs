@@ -1,0 +1,232 @@
+//! Plan-once-run-many execution: a [`SolverPlan`] compiles a fixed,
+//! ordered list of stencil operators up front and dispatches them by
+//! **index** forever after.
+//!
+//! The paper's porting story is "compile each stencil group to a cached
+//! callable and re-run it" — but a per-call cache still pays a structural
+//! hash + map lookup + mutex acquisition on *every* dispatch, hundreds of
+//! times per multigrid cycle. Devito-style operator planning separates the
+//! one-time *plan* step (compile every operator the solver will ever run)
+//! from the many-times *apply* step (index into a flat table):
+//!
+//! 1. **Build**: hand [`SolverPlan::build`] the ordered slice of
+//!    `(StencilGroup, ShapeMap)` pairs. Each pair is compiled through a
+//!    [`CompileCache`] (so structurally identical operators share one
+//!    executable) and stored at its slice position.
+//! 2. **Run**: `plan.run(op, &mut grids)` is a bounds-checked `Vec` index
+//!    followed by the executable — no hashing, no locking, no allocation.
+//!
+//! The cache remains *the builder behind the plan*: its hit/miss counters
+//! describe build-time reuse, and because steady-state dispatch never
+//! touches it, those counters staying flat across cycles is the
+//! observable proof that the hot path is lookup-free (asserted by the
+//! plan-equivalence integration test).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use snowflake_core::{CoreError, Result, ShapeMap, StencilGroup};
+use snowflake_grid::GridSet;
+
+use crate::metrics::{CacheStats, RunReport};
+use crate::{Backend, CompileCache, Executable};
+
+/// A compiled operator schedule: `ops[i]` is the executable for the i-th
+/// `(group, shapes)` pair handed to [`SolverPlan::build`].
+pub struct SolverPlan {
+    cache: CompileCache,
+    ops: Vec<Arc<dyn Executable>>,
+    build_seconds: f64,
+}
+
+impl SolverPlan {
+    /// Compile every operator on `backend`, in order. Indices into the
+    /// returned plan are stable: op `i` is `ops[i]`.
+    pub fn build(backend: Box<dyn Backend>, ops: &[(StencilGroup, ShapeMap)]) -> Result<Self> {
+        Self::build_with_cache(CompileCache::new(backend), ops)
+    }
+
+    /// As [`SolverPlan::build`], reusing an existing compile cache (e.g.
+    /// one already warmed by a previous plan for another level set).
+    pub fn build_with_cache(cache: CompileCache, ops: &[(StencilGroup, ShapeMap)]) -> Result<Self> {
+        let t0 = Instant::now();
+        let mut compiled = Vec::with_capacity(ops.len());
+        for (group, shapes) in ops {
+            compiled.push(cache.get_or_compile(group, shapes)?);
+        }
+        Ok(SolverPlan {
+            cache,
+            ops: compiled,
+            build_seconds: t0.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Number of operator slots (`plan_ops`). Structurally identical
+    /// operators occupy distinct slots but share one executable.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Is the plan empty?
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Name of the compiling backend.
+    pub fn backend_name(&self) -> &'static str {
+        self.cache.backend_name()
+    }
+
+    /// Wall-clock seconds the build step spent compiling (reported into
+    /// `compile_seconds` by plan-driven solvers).
+    pub fn build_seconds(&self) -> f64 {
+        self.build_seconds
+    }
+
+    /// Build-time cache counters (including the backend's on-disk
+    /// artifact cache). Steady-state dispatch never changes these.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.cache_stats()
+    }
+
+    fn op(&self, op: usize) -> Result<&Arc<dyn Executable>> {
+        self.ops.get(op).ok_or_else(|| {
+            CoreError::Backend(format!(
+                "plan op index {op} out of range (plan has {} ops)",
+                self.ops.len()
+            ))
+        })
+    }
+
+    /// Execute operator `op` once: one `Vec` index, then the executable.
+    pub fn run(&self, op: usize, grids: &mut GridSet) -> Result<()> {
+        self.op(op)?.run(grids)
+    }
+
+    /// As [`SolverPlan::run`], profiling into `report` (phases + kernel
+    /// counters; the plan itself adds nothing per call).
+    pub fn run_with_report(
+        &self,
+        op: usize,
+        grids: &mut GridSet,
+        report: &mut RunReport,
+    ) -> Result<()> {
+        report.set_backend(self.backend_name());
+        self.op(op)?.run_with_report(grids, report)
+    }
+
+    /// Iteration points per run of operator `op`.
+    pub fn points_per_run(&self, op: usize) -> Result<u64> {
+        Ok(self.op(op)?.points_per_run())
+    }
+
+    /// Stamp plan-level facts into a report: `plan_ops`, the build-time
+    /// cache snapshot (with disk counters) and the backend name. Build
+    /// time is *not* added here so callers can report it exactly once.
+    pub fn stamp(&self, report: &mut RunReport) {
+        report.plan_ops = self.ops.len() as u64;
+        report.cache = self.cache_stats();
+        report.set_backend(self.backend_name());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SequentialBackend;
+    use snowflake_core::{Expr, RectDomain, Stencil};
+    use snowflake_grid::Grid;
+
+    fn scale_group(factor: f64) -> StencilGroup {
+        StencilGroup::from(Stencil::new(
+            Expr::read_at("x", &[0, 0]) * factor,
+            "y",
+            RectDomain::interior(2),
+        ))
+    }
+
+    fn grid_set(n: usize) -> GridSet {
+        let mut gs = GridSet::new();
+        let mut x = Grid::new(&[n, n]);
+        x.fill_random(7, -1.0, 1.0);
+        gs.insert("x", x);
+        gs.insert("y", Grid::new(&[n, n]));
+        gs
+    }
+
+    #[test]
+    fn plan_indices_are_stable_and_duplicates_share_executables() {
+        let gs = grid_set(8);
+        let shapes = gs.shapes();
+        let ops = vec![
+            (scale_group(2.0), shapes.clone()),
+            (scale_group(3.0), shapes.clone()),
+            (scale_group(2.0), shapes.clone()), // structural duplicate of op 0
+        ];
+        let plan = SolverPlan::build(Box::new(SequentialBackend::new()), &ops).unwrap();
+        assert_eq!(plan.len(), 3);
+        let stats = plan.cache_stats();
+        assert_eq!(stats.misses, 2, "two distinct programs");
+        assert_eq!(stats.hits, 1, "duplicate op reuses the compile");
+
+        let mut gs = gs;
+        plan.run(0, &mut gs).unwrap();
+        let doubled = gs.get("y").unwrap().clone();
+        plan.run(1, &mut gs).unwrap();
+        let tripled = gs.get("y").unwrap().clone();
+        plan.run(2, &mut gs).unwrap();
+        assert_eq!(gs.get("y").unwrap().max_abs_diff(&doubled), 0.0);
+        assert!(tripled.max_abs_diff(&doubled) > 0.0);
+    }
+
+    #[test]
+    fn steady_state_dispatch_never_touches_the_cache() {
+        let gs = grid_set(8);
+        let shapes = gs.shapes();
+        let ops = vec![(scale_group(2.0), shapes)];
+        let plan = SolverPlan::build(Box::new(SequentialBackend::new()), &ops).unwrap();
+        let built = plan.cache_stats();
+        let mut gs = gs;
+        for _ in 0..50 {
+            plan.run(0, &mut gs).unwrap();
+        }
+        assert_eq!(
+            plan.cache_stats(),
+            built,
+            "dispatch must perform zero cache lookups"
+        );
+    }
+
+    #[test]
+    fn out_of_range_op_is_an_error_not_a_panic() {
+        let gs = grid_set(8);
+        let plan = SolverPlan::build(
+            Box::new(SequentialBackend::new()),
+            &[(scale_group(2.0), gs.shapes())],
+        )
+        .unwrap();
+        let mut gs = gs;
+        let err = plan.run(5, &mut gs).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn stamp_fills_plan_counters() {
+        let gs = grid_set(8);
+        let shapes = gs.shapes();
+        let plan = SolverPlan::build(
+            Box::new(SequentialBackend::new()),
+            &[
+                (scale_group(2.0), shapes.clone()),
+                (scale_group(2.0), shapes),
+            ],
+        )
+        .unwrap();
+        let mut report = RunReport::new();
+        plan.stamp(&mut report);
+        assert_eq!(report.plan_ops, 2);
+        assert_eq!(report.backend, "seq");
+        assert_eq!(report.cache.misses, 1);
+        assert_eq!(report.cache.hits, 1);
+    }
+}

@@ -26,6 +26,12 @@ impl SequentialBackend {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Set the lowering options (builder style).
+    pub fn with_options(mut self, options: LowerOptions) -> Self {
+        self.options = options;
+        self
+    }
 }
 
 impl Backend for SequentialBackend {

@@ -14,7 +14,8 @@
 use roofline::{measure_dot_bandwidth, Roofline, StencilKind};
 use snowflake_backends::RunReport;
 use snowflake_bench::{
-    arg_usize_or_exit, arg_value, print_table, write_metrics_json, KernelBench, MetricsRow, Who,
+    arg_usize_or_exit, arg_value, figure_impls_or_exit, print_table, write_metrics_json,
+    KernelBench, MetricsRow,
 };
 
 fn main() {
@@ -29,17 +30,17 @@ fn main() {
     let model = Roofline::from_stream(&bw);
     println!("measured dot bandwidth: {:.2} GB/s", bw.gbs());
 
-    let who = Who::figure_set();
+    let impls = figure_impls_or_exit(&args);
     let mut header: Vec<String> = vec!["operator".into()];
-    header.extend(who.iter().map(|w| w.label().to_string()));
+    header.extend(impls.iter().map(|(label, _)| label.clone()));
     header.push("Roofline".into());
 
     let mut rows = Vec::new();
     let mut metrics_rows = Vec::new();
     for kind in StencilKind::all() {
         let mut row = vec![kind.label().to_string()];
-        for w in &who {
-            match KernelBench::build(kind, *w, n) {
+        for (label, backend) in &impls {
+            match KernelBench::build_named(kind, backend.as_deref(), n) {
                 Ok(mut kb) => {
                     let rate = kb.stencils_per_sec(reps);
                     row.push(format!("{:.3}", rate / 1e9));
@@ -48,7 +49,7 @@ fn main() {
                         kb.sweep_with_report(&mut report);
                         metrics_rows.push(MetricsRow {
                             operator: kind.label().to_string(),
-                            implementation: w.label().to_string(),
+                            implementation: label.clone(),
                             value: rate,
                             report: Some(report),
                         });
@@ -57,7 +58,7 @@ fn main() {
                 Err(e) => {
                     // An unavailable implementation (e.g. cjit without a C
                     // compiler) is a skipped column, not a failed figure.
-                    eprintln!("({} on {kind:?} skipped: {e})", w.label());
+                    eprintln!("({label} on {kind:?} skipped: {e})");
                     row.push("skipped".to_string());
                 }
             }

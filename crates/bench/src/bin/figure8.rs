@@ -15,7 +15,8 @@
 use roofline::{measure_dot_bandwidth, Roofline, StencilKind};
 use snowflake_backends::RunReport;
 use snowflake_bench::{
-    arg_usize_or_exit, arg_value, print_table, write_metrics_json, KernelBench, MetricsRow, Who,
+    arg_usize_or_exit, arg_value, figure_impls_or_exit, print_table, write_metrics_json,
+    KernelBench, MetricsRow,
 };
 
 fn main() {
@@ -32,17 +33,17 @@ fn main() {
     let model = Roofline::from_stream(&bw);
     println!("measured dot bandwidth: {:.2} GB/s", bw.gbs());
 
-    let who = Who::figure_set();
+    let impls = figure_impls_or_exit(&args);
     let mut header: Vec<String> = vec!["size".into()];
-    header.extend(who.iter().map(|w| w.label().to_string()));
+    header.extend(impls.iter().map(|(label, _)| label.clone()));
     header.push("Roofline".into());
 
     let mut rows = Vec::new();
     let mut metrics_rows = Vec::new();
     for &n in sizes.iter().rev() {
         let mut row = vec![format!("{n}^3")];
-        for w in &who {
-            match KernelBench::build(StencilKind::VcGsrb, *w, n) {
+        for (label, backend) in &impls {
+            match KernelBench::build_named(StencilKind::VcGsrb, backend.as_deref(), n) {
                 Ok(mut kb) => {
                     let secs = kb.seconds_per_sweep(reps);
                     row.push(format!("{secs:.3e}"));
@@ -51,14 +52,14 @@ fn main() {
                         kb.sweep_with_report(&mut report);
                         metrics_rows.push(MetricsRow {
                             operator: format!("{n}^3"),
-                            implementation: w.label().to_string(),
+                            implementation: label.clone(),
                             value: secs,
                             report: Some(report),
                         });
                     }
                 }
                 Err(e) => {
-                    eprintln!("({} at {n}^3 skipped: {e})", w.label());
+                    eprintln!("({label} at {n}^3 skipped: {e})");
                     row.push("skipped".to_string());
                 }
             }

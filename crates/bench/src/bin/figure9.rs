@@ -7,24 +7,33 @@
 //! and interleaved Dirichlet boundary stencils.
 //!
 //! `cargo run --release -p snowflake-bench --bin figure9
-//!      [-- --size 256] [--cycles 10]`
+//!      [-- --size 256] [--cycles 10] [--backend <name>] [--smoke]`
+//!
+//! Backends are resolved by name through [`backend_from_name`]; pass
+//! `--backend <name>` to run a single one (any of `available_backends()`,
+//! including `interp` and `dist`, which the default comparison set skips
+//! for speed). `--smoke` shrinks the run to a CI-sized problem (8³, 2
+//! cycles, seq + cjit) for exercising the persistent artifact cache.
 //!
 //! Pass `--metrics-json <path>` to dump the per-backend solver
-//! [`RunReport`] profiles (schema in README.md).
+//! [`RunReport`] profiles (schema in README.md), including `plan_ops` and
+//! the disk-cache hit/miss counters.
 //!
 //! [`RunReport`]: snowflake_backends::RunReport
 
 use std::time::Instant;
 
-use hpgmg::{HandSolver, Problem, Smoother, SnowSolver};
+use hpgmg::{HandSolver, Problem, Smoother, SnowSolver, SolveOptions};
+use snowflake_backends::{backend_from_name, BackendOptions};
 use snowflake_bench::{
     arg_usize_or_exit, arg_value, print_table, write_metrics_json, MetricsRow, Who,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let n = arg_usize_or_exit(&args, "--size", 64);
-    let cycles = arg_usize_or_exit(&args, "--cycles", 10);
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let n = arg_usize_or_exit(&args, "--size", if smoke { 8 } else { 64 });
+    let cycles = arg_usize_or_exit(&args, "--cycles", if smoke { 2 } else { 10 });
     let smoother = match arg_value(&args, "--smoother").as_deref() {
         Some("cheby") | Some("chebyshev") => Smoother::Chebyshev,
         _ => Smoother::GsRb,
@@ -33,6 +42,16 @@ fn main() {
     let metrics_path = arg_value(&args, "--metrics-json");
     let problem = Problem::poisson_vc(n);
     let dof = (n * n * n) as f64;
+    let opts = SolveOptions::cycles(cycles).with_fmg(fmg);
+
+    // One backend by name, or the figure's default comparison set
+    // (interp/dist are constructible via --backend but far too slow for
+    // the default sweep).
+    let backend_names: Vec<String> = match arg_value(&args, "--backend") {
+        Some(name) => vec![name],
+        None if smoke => vec!["seq".into(), "cjit".into()],
+        None => vec!["omp".into(), "oclsim".into(), "cjit".into(), "seq".into()],
+    };
 
     println!(
         "Figure 9 — GMG solver performance, {n}^3, {cycles} cycles (VC, {smoother:?}{})",
@@ -43,18 +62,20 @@ fn main() {
     let mut metrics_rows = Vec::new();
 
     // Hand-optimized baseline.
-    {
+    if arg_value(&args, "--backend").is_none() {
         let mut solver = HandSolver::new(problem).with_smoother(smoother);
         solver.solve(1); // untimed warm-up cycle (pays page faults)
         solver.levels[0].x.fill(0.0);
         let t0 = Instant::now();
-        let norms = solver.solve_opts(cycles, fmg);
+        let norms = solver.solve(opts);
         let dt = t0.elapsed().as_secs_f64();
         rows.push(vec![
             Who::Hand.label().to_string(),
             format!("{:.3}", dof / dt / 1e6),
             format!("{dt:.3}"),
             format!("{:.2e}", norms[cycles] / norms[0]),
+            "-".to_string(),
+            "-".to_string(),
         ]);
         if metrics_path.is_some() {
             metrics_rows.push(MetricsRow {
@@ -66,10 +87,17 @@ fn main() {
         }
     }
 
-    // Snowflake on each backend.
-    for who in [Who::SnowOmp, Who::SnowOcl, Who::SnowCjit, Who::SnowSeq] {
-        let Some(backend) = who.backend() else {
-            continue;
+    // Snowflake on each backend, constructed through the registry.
+    for name in &backend_names {
+        let label = format!("Snowflake/{name}");
+        let backend = match backend_from_name(name, &BackendOptions::default()) {
+            Ok(b) => b,
+            Err(e) => {
+                // An unknown --backend name is a usage error; unknown names
+                // in the built-in set would be a bug.
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
         };
         match SnowSolver::with_smoother(problem, backend, smoother) {
             Ok(mut solver) => {
@@ -78,18 +106,21 @@ fn main() {
                     solver.enable_metrics();
                 }
                 let t0 = Instant::now();
-                let norms = solver.solve_opts(cycles, fmg).expect("solve");
+                let norms = solver.solve(opts).expect("solve");
                 let dt = t0.elapsed().as_secs_f64();
+                let stats = solver.plan_cache_stats();
                 rows.push(vec![
-                    who.label().to_string(),
+                    label.clone(),
                     format!("{:.3}", dof / dt / 1e6),
                     format!("{dt:.3}"),
                     format!("{:.2e}", norms[cycles] / norms[0]),
+                    format!("{}", solver.plan_ops()),
+                    format!("{}/{}", stats.disk_hits, stats.disk_misses),
                 ]);
                 if metrics_path.is_some() {
                     metrics_rows.push(MetricsRow {
                         operator: "gmg-solve".to_string(),
-                        implementation: who.label().to_string(),
+                        implementation: label,
                         value: dof / dt / 1e6,
                         report: solver.take_metrics(),
                     });
@@ -98,12 +129,14 @@ fn main() {
             Err(e) => {
                 // An unavailable backend (e.g. cjit without a C compiler)
                 // is a skipped row, not a failed figure.
-                eprintln!("({} skipped: {e})", who.label());
+                eprintln!("({label} skipped: {e})");
                 rows.push(vec![
-                    who.label().to_string(),
+                    label,
                     "skipped".to_string(),
                     "skipped".to_string(),
                     "skipped".to_string(),
+                    "-".to_string(),
+                    "-".to_string(),
                 ]);
             }
         }
@@ -116,6 +149,8 @@ fn main() {
             "DOF/s (10^6)".into(),
             "solve time (s)".into(),
             "residual reduction".into(),
+            "plan ops".into(),
+            "disk hit/miss".into(),
         ],
         &rows,
     );

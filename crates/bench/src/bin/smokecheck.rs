@@ -1,0 +1,112 @@
+//! CI assertion helper for the persistent cjit artifact cache: given the
+//! `--metrics-json` documents of two consecutive `figure9 --smoke` runs,
+//! verify that the second run was served from the on-disk cache.
+//!
+//! `smokecheck <first.json> <second.json>`
+//!
+//! Checks (on the `Snowflake/cjit` row of each document):
+//!
+//! * the second run's `cache.disk_hits` is positive — the artifacts
+//!   persisted by the first process were found and dlopened;
+//! * when the first run was cold (`cache.disk_misses > 0`), the second
+//!   run's `compile_seconds` decreased — dlopening a cached `.so` must be
+//!   cheaper than invoking the C compiler.
+//!
+//! Exits 0 with a "skipped" note when neither document has a cjit row
+//! (no C compiler in the environment), 1 on assertion failure, 2 on
+//! usage/parse errors — so CI can run it unconditionally.
+
+use snowflake_backends::metrics::json;
+
+/// The cjit row's report facts a check needs.
+struct CjitFacts {
+    disk_hits: u64,
+    disk_misses: u64,
+    compile_seconds: f64,
+}
+
+fn cjit_facts(path: &str) -> Result<Option<CjitFacts>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let rows = doc
+        .get("rows")
+        .and_then(|r| r.as_array())
+        .ok_or_else(|| format!("{path}: no \"rows\" array"))?;
+    for row in rows {
+        if row.get("impl").and_then(|v| v.as_str()) != Some("Snowflake/cjit") {
+            continue;
+        }
+        let report = row
+            .get("report")
+            .ok_or_else(|| format!("{path}: cjit row has no report"))?;
+        let cache = report
+            .get("cache")
+            .ok_or_else(|| format!("{path}: cjit report has no cache object"))?;
+        let field_u64 = |obj: &json::Value, key: &str| {
+            obj.get(key)
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| format!("{path}: cjit report missing {key}"))
+        };
+        return Ok(Some(CjitFacts {
+            disk_hits: field_u64(cache, "disk_hits")?,
+            disk_misses: field_u64(cache, "disk_misses")?,
+            compile_seconds: report
+                .get("compile_seconds")
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| format!("{path}: cjit report missing compile_seconds"))?,
+        }));
+    }
+    Ok(None)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let [first_path, second_path] = match args.get(1..3) {
+        Some([a, b]) => [a.clone(), b.clone()],
+        _ => {
+            eprintln!("usage: smokecheck <first.json> <second.json>");
+            std::process::exit(2);
+        }
+    };
+    let load = |path: &str| {
+        cjit_facts(path).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
+    };
+    let (Some(first), Some(second)) = (load(&first_path), load(&second_path)) else {
+        println!("smokecheck: no cjit rows (no C compiler?) — skipped");
+        return;
+    };
+
+    let mut failed = false;
+    if second.disk_hits == 0 {
+        eprintln!(
+            "FAIL: second run had no disk-cache hits \
+             (hits {}, misses {})",
+            second.disk_hits, second.disk_misses
+        );
+        failed = true;
+    }
+    if first.disk_misses > 0 && second.compile_seconds >= first.compile_seconds {
+        eprintln!(
+            "FAIL: cached plan build was not faster: compile_seconds \
+             {:.4} (cold) -> {:.4} (warm)",
+            first.compile_seconds, second.compile_seconds
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "smokecheck: ok — cold (hits {}, misses {}, compile {:.4}s), \
+         warm (hits {}, misses {}, compile {:.4}s)",
+        first.disk_hits,
+        first.disk_misses,
+        first.compile_seconds,
+        second.disk_hits,
+        second.disk_misses,
+        second.compile_seconds
+    );
+}

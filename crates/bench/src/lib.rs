@@ -27,7 +27,7 @@ use hpgmg::stencils::{apply_op_group, gsrb_smooth_group, jacobi_group, Coeff, Na
 use roofline::StencilKind;
 use snowflake_backends::metrics::json;
 use snowflake_backends::{
-    Backend, CJitBackend, Executable, OclSimBackend, OmpBackend, RunReport, SequentialBackend,
+    backend_from_name, Backend, BackendOptions, CJitBackend, Executable, RunReport,
 };
 use snowflake_core::Result;
 use snowflake_grid::GridSet;
@@ -72,15 +72,22 @@ impl Who {
         }
     }
 
-    /// Construct the backend for Snowflake variants.
-    pub fn backend(&self) -> Option<Box<dyn Backend>> {
+    /// Registry name of the backend for Snowflake variants.
+    pub fn backend_name(&self) -> Option<&'static str> {
         match self {
             Who::Hand => None,
-            Who::SnowOmp => Some(Box::new(OmpBackend::new())),
-            Who::SnowOcl => Some(Box::new(OclSimBackend::new())),
-            Who::SnowSeq => Some(Box::new(SequentialBackend::new())),
-            Who::SnowCjit => Some(Box::new(CJitBackend::new())),
+            Who::SnowOmp => Some("omp"),
+            Who::SnowOcl => Some("oclsim"),
+            Who::SnowSeq => Some("seq"),
+            Who::SnowCjit => Some("cjit"),
         }
+    }
+
+    /// Construct the backend for Snowflake variants (via the registry, so
+    /// figures and the registry cannot drift apart).
+    pub fn backend(&self) -> Option<Box<dyn Backend>> {
+        let name = self.backend_name()?;
+        Some(backend_from_name(name, &BackendOptions::default()).expect("registry backend"))
     }
 
     /// The default comparison set for figures (cjit included only when a C
@@ -91,6 +98,32 @@ impl Who {
             v.push(Who::SnowCjit);
         }
         v
+    }
+}
+
+/// Resolve a figure's comparison set from `--backend`: a single named
+/// implementation (`hand`, or any registry backend name — including
+/// `interp` and `dist`, which the default set skips for speed), or the
+/// default [`Who::figure_set`]. Each entry is `(column label, registry
+/// backend name)` with `None` meaning the hand-optimized baseline.
+/// Unknown names print the registry's [`CoreError`] (which lists the
+/// valid names) and exit 2.
+///
+/// [`CoreError`]: snowflake_core::CoreError
+pub fn figure_impls_or_exit(args: &[String]) -> Vec<(String, Option<String>)> {
+    match arg_value(args, "--backend") {
+        None => Who::figure_set()
+            .into_iter()
+            .map(|w| (w.label().to_string(), w.backend_name().map(String::from)))
+            .collect(),
+        Some(name) if name == "hand" => vec![(Who::Hand.label().to_string(), None)],
+        Some(name) => {
+            if let Err(e) = backend_from_name(&name, &BackendOptions::default()) {
+                eprintln!("error: {e}");
+                std::process::exit(2);
+            }
+            vec![(format!("Snowflake/{name}"), Some(name))]
+        }
     }
 }
 
@@ -121,12 +154,22 @@ impl KernelBench {
     /// `kind` selects the operator (Figure 7's three), `who` the
     /// implementation, `n` the interior size (the paper uses 256).
     pub fn build(kind: StencilKind, who: Who, n: usize) -> Result<KernelBench> {
+        Self::build_named(kind, who.backend_name(), n)
+    }
+
+    /// Build the kernel-under-test against a registry backend name
+    /// (`None` selects the hand-optimized baseline). This is what
+    /// `--backend` resolves through, so any [`available_backends`] name
+    /// works — not just the figure-set columns.
+    ///
+    /// [`available_backends`]: snowflake_backends::available_backends
+    pub fn build_named(kind: StencilKind, backend: Option<&str>, n: usize) -> Result<KernelBench> {
         let problem = match kind {
             StencilKind::VcGsrb => Problem::poisson_vc(n),
             _ => Problem::poisson_cc(n),
         };
         let stencils_per_sweep = (n * n * n) as u64;
-        match who.backend() {
+        match backend {
             None => {
                 let mut lvl = LevelData::build(&problem, n);
                 lvl.x.fill_random(17, -1.0, 1.0);
@@ -136,7 +179,8 @@ impl KernelBench {
                     runner: KernelRunner::Hand { lvl, problem, kind },
                 })
             }
-            Some(backend) => {
+            Some(name) => {
+                let backend = backend_from_name(name, &BackendOptions::default())?;
                 let names = Names::level(0);
                 let coeff = if problem.variable_coeff {
                     Coeff::Variable

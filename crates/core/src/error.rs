@@ -29,6 +29,13 @@ pub enum CoreError {
     UnknownGrid { stencil: String, grid: String },
     /// A stride was negative (stride 0 means "pinned", > 0 steps).
     NegativeStride { stride: i64 },
+    /// A backend name not present in the registry.
+    UnknownBackend {
+        /// The name that failed to resolve.
+        name: String,
+        /// Every name the registry does know.
+        available: Vec<String>,
+    },
     /// Backend-level failure (compilation, unavailable toolchain, …).
     Backend(String),
 }
@@ -65,6 +72,13 @@ impl fmt::Display for CoreError {
             }
             CoreError::NegativeStride { stride } => {
                 write!(f, "domain stride must be >= 0, got {stride}")
+            }
+            CoreError::UnknownBackend { name, available } => {
+                write!(
+                    f,
+                    "unknown backend {name:?}; available: {}",
+                    available.join(", ")
+                )
             }
             CoreError::Backend(msg) => write!(f, "backend error: {msg}"),
         }

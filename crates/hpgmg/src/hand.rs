@@ -678,26 +678,34 @@ impl HandSolver {
         self.levels[0].interior_norm_max(&self.levels[0].res)
     }
 
-    /// Run `cycles` V-cycles from a zero initial guess; returns the
-    /// residual norm after each cycle (prefixed by the initial norm).
-    pub fn solve(&mut self, cycles: usize) -> Vec<f64> {
-        self.solve_opts(cycles, false)
-    }
-
-    /// As [`HandSolver::solve`]; when `fmg` is set the first cycle is a
-    /// full-multigrid F-cycle (HPGMG's default) instead of a V-cycle.
-    pub fn solve_opts(&mut self, cycles: usize, fmg: bool) -> Vec<f64> {
+    /// Solve from a zero initial guess; returns the residual norm after
+    /// each cycle (prefixed by the initial norm).
+    ///
+    /// Accepts either a bare cycle count (`solver.solve(10)`) or a full
+    /// [`crate::SolveOptions`] (F-cycle start, early-exit tolerance) —
+    /// the same surface as [`crate::SnowSolver::solve`].
+    pub fn solve(&mut self, opts: impl Into<crate::SolveOptions>) -> Vec<f64> {
+        let opts = opts.into();
         self.levels[0].x.fill(0.0);
         let mut norms = vec![self.residual_norm()];
-        for c in 0..cycles {
-            if fmg && c == 0 {
+        for c in 0..opts.cycles {
+            if opts.fmg && c == 0 {
                 self.fcycle();
             } else {
                 self.vcycle(0);
             }
             norms.push(self.residual_norm());
+            if opts.converged(&norms) {
+                break;
+            }
         }
         norms
+    }
+
+    /// Former two-argument form of [`HandSolver::solve`].
+    #[deprecated(note = "use solve(SolveOptions::cycles(n).with_fmg(fmg))")]
+    pub fn solve_opts(&mut self, cycles: usize, fmg: bool) -> Vec<f64> {
+        self.solve(crate::SolveOptions::cycles(cycles).with_fmg(fmg))
     }
 
     /// Max-norm error against the exact discrete solution.
@@ -945,7 +953,7 @@ mod tests {
     fn linear_interp_fcycle_converges() {
         let p = Problem::poisson_vc(16);
         let mut solver = HandSolver::new(p).with_interp(crate::InterpKind::Linear);
-        let norms = solver.solve_opts(4, true);
+        let norms = solver.solve(crate::SolveOptions::cycles(4).with_fmg(true));
         assert!(norms[4] / norms[0] < 1e-4, "{norms:?}");
     }
 

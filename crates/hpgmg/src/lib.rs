@@ -40,6 +40,69 @@ pub use hand::HandSolver;
 pub use problem::{LevelData, Problem};
 pub use snow::SnowSolver;
 
+/// Options for one solver invocation (both [`HandSolver::solve`] and
+/// [`SnowSolver::solve`] take `impl Into<SolveOptions>`, so a bare cycle
+/// count still works: `solver.solve(10)`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SolveOptions {
+    /// Maximum V-cycles to run.
+    pub cycles: usize,
+    /// Start with a full-multigrid F-cycle (HPGMG's default cycle type)
+    /// instead of a zero-guess V-cycle.
+    pub fmg: bool,
+    /// Stop early once the residual norm has dropped below `rtol` times
+    /// the initial norm (`None` always runs all `cycles`).
+    pub rtol: Option<f64>,
+}
+
+impl Default for SolveOptions {
+    /// The paper's configuration: 10 V-cycles, no F-cycle start, no
+    /// early exit.
+    fn default() -> Self {
+        SolveOptions {
+            cycles: 10,
+            fmg: false,
+            rtol: None,
+        }
+    }
+}
+
+impl SolveOptions {
+    /// Run `cycles` V-cycles (builder entry point).
+    pub fn cycles(cycles: usize) -> Self {
+        SolveOptions {
+            cycles,
+            ..Self::default()
+        }
+    }
+
+    /// Start with an F-cycle (builder style).
+    pub fn with_fmg(mut self, on: bool) -> Self {
+        self.fmg = on;
+        self
+    }
+
+    /// Stop early at this relative residual tolerance (builder style).
+    pub fn with_rtol(mut self, rtol: f64) -> Self {
+        self.rtol = Some(rtol);
+        self
+    }
+
+    /// Has the residual history already met the tolerance?
+    fn converged(&self, norms: &[f64]) -> bool {
+        match (self.rtol, norms.first(), norms.last()) {
+            (Some(rtol), Some(&first), Some(&last)) => last <= rtol * first,
+            _ => false,
+        }
+    }
+}
+
+impl From<usize> for SolveOptions {
+    fn from(cycles: usize) -> Self {
+        SolveOptions::cycles(cycles)
+    }
+}
+
 /// Which coarse-grid solver the V-cycle bottoms out with.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum BottomSolve {

@@ -1,12 +1,20 @@
 //! The Snowflake-driven multigrid solver.
 //!
 //! Identical algorithm to [`crate::hand::HandSolver`], but every operator
-//! is a [`StencilGroup`] compiled by a pluggable backend through the JIT
-//! compile cache. Swapping `Box<dyn Backend>` is the paper's entire
-//! porting story: the solver source does not change.
+//! is a [`StencilGroup`] compiled by a pluggable backend. Swapping
+//! `Box<dyn Backend>` is the paper's entire porting story: the solver
+//! source does not change.
+//!
+//! Execution is *plan-once-run-many*: construction assembles the full
+//! ordered operator list (smooths, residuals, transfers — every group any
+//! cycle will ever dispatch) and compiles it into one
+//! [`SolverPlan`]; the V-/F-cycle hot path then dispatches by stable
+//! index, performing **zero** compile-cache hashing or locking per call.
+//! The compile cache survives only as the plan's builder — its counters
+//! stay flat across cycles, which the plan-equivalence tests assert.
 
-use snowflake_backends::{Backend, CompileCache, RunReport};
-use snowflake_core::{Result, StencilGroup};
+use snowflake_backends::{Backend, CacheStats, RunReport, SolverPlan};
+use snowflake_core::{Result, ShapeMap, StencilGroup};
 use snowflake_grid::{Grid, GridSet};
 
 use crate::hand;
@@ -15,7 +23,7 @@ use crate::stencils::{
     chebyshev_step_group, gsrb_smooth_group, interpolate_group, interpolate_linear_group,
     residual_group, restrict_group, restrict_rhs_group, Coeff, Names,
 };
-use crate::{BottomSolve, InterpKind, Smoother, BOTTOM_SMOOTHS, SMOOTHS_PER_LEG};
+use crate::{BottomSolve, InterpKind, Smoother, SolveOptions, BOTTOM_SMOOTHS, SMOOTHS_PER_LEG};
 
 /// Geometric multigrid with Snowflake-compiled operators.
 pub struct SnowSolver {
@@ -33,17 +41,33 @@ pub struct SnowSolver {
     pub bottom: BottomSolve,
     /// Prolongation operator.
     pub interp: InterpKind,
-    cache: CompileCache,
+    /// The compiled operator schedule; all dispatch is by index into it.
+    plan: SolverPlan,
     /// Execution profile, populated while metrics collection is enabled.
     report: Option<RunReport>,
-    smooth: Vec<StencilGroup>,
-    /// Chebyshev per-step groups (empty unless `smoother == Chebyshev`).
-    cheby_steps: Vec<Vec<StencilGroup>>,
-    residual: Vec<StencilGroup>,
-    restrict: Vec<StencilGroup>,
-    restrict_rhs: Vec<StencilGroup>,
-    interpolate: Vec<StencilGroup>,
-    interpolate_linear: Vec<StencilGroup>,
+    /// Plan indices, per level.
+    smooth: Vec<usize>,
+    /// Chebyshev per-step plan indices (empty unless Chebyshev).
+    cheby_steps: Vec<Vec<usize>>,
+    residual: Vec<usize>,
+    restrict: Vec<usize>,
+    restrict_rhs: Vec<usize>,
+    interpolate: Vec<usize>,
+    interpolate_linear: Vec<usize>,
+}
+
+/// Accumulates the ordered `(group, shapes)` operator list during solver
+/// construction, handing out the stable plan index of each push.
+struct OpList {
+    ops: Vec<(StencilGroup, ShapeMap)>,
+    shapes: ShapeMap,
+}
+
+impl OpList {
+    fn push(&mut self, group: StencilGroup) -> usize {
+        self.ops.push((group, self.shapes.clone()));
+        self.ops.len() - 1
+    }
 }
 
 impl SnowSolver {
@@ -92,6 +116,12 @@ impl SnowSolver {
             grids.insert(&names.beta_z, lvl.beta_z);
         }
 
+        // Assemble the full ordered operator list. Indices handed out here
+        // are the plan indices every cycle dispatches through.
+        let mut ops = OpList {
+            ops: Vec::new(),
+            shapes: grids.shapes(),
+        };
         let mut smooth = Vec::new();
         let mut cheby_steps = Vec::new();
         let mut residual_g = Vec::new();
@@ -103,32 +133,36 @@ impl SnowSolver {
         for (l, &n) in sizes.iter().enumerate() {
             let names = Names::level(l);
             let h2inv = (n * n) as f64;
-            smooth.push(gsrb_smooth_group(
+            smooth.push(ops.push(gsrb_smooth_group(
                 &names, coeff, problem.a, problem.b, h2inv,
-            ));
+            )));
             if smoother == Smoother::Chebyshev {
                 cheby_steps.push(
                     cheby_coeffs
                         .iter()
                         .map(|&(c1, c2)| {
-                            chebyshev_step_group(&names, coeff, problem.a, problem.b, h2inv, c1, c2)
+                            ops.push(chebyshev_step_group(
+                                &names, coeff, problem.a, problem.b, h2inv, c1, c2,
+                            ))
                         })
                         .collect(),
                 );
             } else {
                 cheby_steps.push(Vec::new());
             }
-            residual_g.push(residual_group(&names, coeff, problem.a, problem.b, h2inv));
+            residual_g.push(ops.push(residual_group(&names, coeff, problem.a, problem.b, h2inv)));
             if l + 1 < sizes.len() {
-                restrict_g.push(restrict_group(&names, &Names::level(l + 1)));
-                restrict_rhs_g.push(restrict_rhs_group(&names, &Names::level(l + 1)));
-                interp_g.push(interpolate_group(&Names::level(l + 1), &names));
-                interp_lin_g.push(interpolate_linear_group(&Names::level(l + 1), &names));
+                restrict_g.push(ops.push(restrict_group(&names, &Names::level(l + 1))));
+                restrict_rhs_g.push(ops.push(restrict_rhs_group(&names, &Names::level(l + 1))));
+                interp_g.push(ops.push(interpolate_group(&Names::level(l + 1), &names)));
+                interp_lin_g.push(ops.push(interpolate_linear_group(&Names::level(l + 1), &names)));
             }
         }
 
-        let cache = CompileCache::new(backend);
-        let solver = SnowSolver {
+        // Plan build doubles as the paper's untimed warm-up: every
+        // operator is compiled here, so solve timings exclude compilation.
+        let plan = SolverPlan::build(backend, &ops.ops)?;
+        Ok(SnowSolver {
             problem,
             sizes,
             grids,
@@ -136,7 +170,7 @@ impl SnowSolver {
             smoother,
             bottom: BottomSolve::default(),
             interp: InterpKind::default(),
-            cache,
+            plan,
             report: None,
             smooth,
             cheby_steps,
@@ -145,28 +179,7 @@ impl SnowSolver {
             restrict_rhs: restrict_rhs_g,
             interpolate: interp_g,
             interpolate_linear: interp_lin_g,
-        };
-        // Warm the JIT cache so solve timings exclude compilation, like the
-        // paper's untimed warm-up.
-        solver.precompile()?;
-        Ok(solver)
-    }
-
-    fn precompile(&self) -> Result<()> {
-        let shapes = self.grids.shapes();
-        for g in self
-            .smooth
-            .iter()
-            .chain(&self.residual)
-            .chain(&self.restrict)
-            .chain(&self.restrict_rhs)
-            .chain(&self.interpolate)
-            .chain(&self.interpolate_linear)
-            .chain(self.cheby_steps.iter().flatten())
-        {
-            self.cache.get_or_compile(g, &shapes)?;
-        }
-        Ok(())
+        })
     }
 
     /// Select the coarse-grid solver (builder style).
@@ -185,9 +198,17 @@ impl SnowSolver {
     /// dispatch (smooths, residuals, transfers) accumulates into one
     /// [`RunReport`]; read it with [`SnowSolver::metrics`] or drain it
     /// with [`SnowSolver::take_metrics`].
+    ///
+    /// The fresh report is pre-stamped with the plan facts: the one-time
+    /// plan build lands in `compile_seconds`, `plan_ops` counts operator
+    /// slots, and the cache snapshot carries the build-time (including
+    /// on-disk) compile reuse.
     pub fn enable_metrics(&mut self) {
         if self.report.is_none() {
-            self.report = Some(RunReport::new());
+            let mut report = RunReport::new();
+            report.compile_seconds += self.plan.build_seconds();
+            self.plan.stamp(&mut report);
+            self.report = Some(report);
         }
     }
 
@@ -197,37 +218,40 @@ impl SnowSolver {
     }
 
     /// Take the collected profile, restarting collection from empty (or
-    /// `None` if metrics were never enabled).
+    /// `None` if metrics were never enabled). The successor report keeps
+    /// the plan stamp but not the build time (already reported once).
     pub fn take_metrics(&mut self) -> Option<RunReport> {
         let taken = self.report.take();
         if taken.is_some() {
-            self.report = Some(RunReport::new());
+            let mut fresh = RunReport::new();
+            self.plan.stamp(&mut fresh);
+            self.report = Some(fresh);
         }
         taken
     }
 
-    /// Dispatch one stencil group through the compile cache, profiling
-    /// when metrics collection is on (free function over disjoint fields
-    /// so call sites can pass `&self.smooth[l]` alongside
-    /// `&mut self.grids`).
-    fn run_group(
-        cache: &CompileCache,
+    /// Dispatch one plan operator by index, profiling when metrics
+    /// collection is on (free function over disjoint fields so call sites
+    /// can pass `self.smooth[l]` alongside `&mut self.grids`). No cache
+    /// lookup, no lock: one bounds-checked index into the plan table.
+    fn run_op(
+        plan: &SolverPlan,
         grids: &mut GridSet,
         report: Option<&mut RunReport>,
-        group: &StencilGroup,
+        op: usize,
     ) -> Result<()> {
         match report {
-            Some(r) => cache.run_with_report(group, grids, r),
-            None => cache.run(group, grids),
+            Some(r) => plan.run_with_report(op, grids, r),
+            None => plan.run(op, grids),
         }
     }
 
     fn prolong(&mut self, l: usize) -> Result<()> {
-        let group = match self.interp {
-            InterpKind::Constant => self.interpolate[l].clone(),
-            InterpKind::Linear => self.interpolate_linear[l].clone(),
+        let op = match self.interp {
+            InterpKind::Constant => self.interpolate[l],
+            InterpKind::Linear => self.interpolate_linear[l],
         };
-        Self::run_group(&self.cache, &mut self.grids, self.report.as_mut(), &group)
+        Self::run_op(&self.plan, &mut self.grids, self.report.as_mut(), op)
     }
 
     /// Run the coarse-grid solve at level `l`.
@@ -259,23 +283,23 @@ impl SnowSolver {
 
     /// Name of the compiling backend.
     pub fn backend_name(&self) -> &'static str {
-        self.cache.backend_name()
+        self.plan.backend_name()
     }
 
     /// Apply one smooth at level `l` using the configured smoother.
     pub fn smooth_level(&mut self, l: usize) -> Result<()> {
         match self.smoother {
-            Smoother::GsRb => Self::run_group(
-                &self.cache,
+            Smoother::GsRb => Self::run_op(
+                &self.plan,
                 &mut self.grids,
                 self.report.as_mut(),
-                &self.smooth[l],
+                self.smooth[l],
             ),
             Smoother::Chebyshev => {
                 let names = Names::level(l);
                 for step in 0..self.cheby_steps[l].len() {
-                    let group = self.cheby_steps[l][step].clone();
-                    Self::run_group(&self.cache, &mut self.grids, self.report.as_mut(), &group)?;
+                    let op = self.cheby_steps[l][step];
+                    Self::run_op(&self.plan, &mut self.grids, self.report.as_mut(), op)?;
                     self.grids.swap_data(&names.x, &names.tmp)?;
                 }
                 Ok(())
@@ -293,17 +317,17 @@ impl SnowSolver {
         for _ in 0..SMOOTHS_PER_LEG {
             self.smooth_level(l)?;
         }
-        Self::run_group(
-            &self.cache,
+        Self::run_op(
+            &self.plan,
             &mut self.grids,
             self.report.as_mut(),
-            &self.residual[l],
+            self.residual[l],
         )?;
-        Self::run_group(
-            &self.cache,
+        Self::run_op(
+            &self.plan,
             &mut self.grids,
             self.report.as_mut(),
-            &self.restrict[l],
+            self.restrict[l],
         )?;
         self.vcycle(l + 1)?;
         self.prolong(l)?;
@@ -317,11 +341,11 @@ impl SnowSolver {
     pub fn fcycle(&mut self) -> Result<()> {
         let last = self.sizes.len() - 1;
         for l in 0..last {
-            Self::run_group(
-                &self.cache,
+            Self::run_op(
+                &self.plan,
                 &mut self.grids,
                 self.report.as_mut(),
-                &self.restrict_rhs[l],
+                self.restrict_rhs[l],
             )?;
         }
         for l in 0..=last {
@@ -340,40 +364,50 @@ impl SnowSolver {
 
     /// Residual max-norm on the finest level.
     pub fn residual_norm(&mut self) -> Result<f64> {
-        Self::run_group(
-            &self.cache,
+        Self::run_op(
+            &self.plan,
             &mut self.grids,
             self.report.as_mut(),
-            &self.residual[0],
+            self.residual[0],
         )?;
         let n = self.sizes[0];
         let res = self.grids.get(&Names::level(0).res).expect("res grid");
         Ok(interior_norm_max(res, n))
     }
 
-    /// Run `cycles` V-cycles from a zero guess; returns residual norms
-    /// (initial first).
-    pub fn solve(&mut self, cycles: usize) -> Result<Vec<f64>> {
-        self.solve_opts(cycles, false)
-    }
-
-    /// As [`SnowSolver::solve`]; when `fmg` is set the first cycle is a
-    /// full-multigrid F-cycle instead of a V-cycle.
-    pub fn solve_opts(&mut self, cycles: usize, fmg: bool) -> Result<Vec<f64>> {
+    /// Solve from a zero guess; returns residual norms (initial first).
+    ///
+    /// Accepts either a bare cycle count (`solver.solve(10)`) or a full
+    /// [`SolveOptions`] (F-cycle start, early-exit tolerance):
+    ///
+    /// ```ignore
+    /// solver.solve(SolveOptions::cycles(10).with_fmg(true).with_rtol(1e-8))
+    /// ```
+    pub fn solve(&mut self, opts: impl Into<SolveOptions>) -> Result<Vec<f64>> {
+        let opts = opts.into();
         self.grids
             .get_mut(&Names::level(0).x)
             .expect("x grid")
             .fill(0.0);
         let mut norms = vec![self.residual_norm()?];
-        for c in 0..cycles {
-            if fmg && c == 0 {
+        for c in 0..opts.cycles {
+            if opts.fmg && c == 0 {
                 self.fcycle()?;
             } else {
                 self.vcycle(0)?;
             }
             norms.push(self.residual_norm()?);
+            if opts.converged(&norms) {
+                break;
+            }
         }
         Ok(norms)
+    }
+
+    /// Former two-argument form of [`SnowSolver::solve`].
+    #[deprecated(note = "use solve(SolveOptions::cycles(n).with_fmg(fmg))")]
+    pub fn solve_opts(&mut self, cycles: usize, fmg: bool) -> Result<Vec<f64>> {
+        self.solve(SolveOptions::cycles(cycles).with_fmg(fmg))
     }
 
     /// Max-norm error against the exact discrete solution.
@@ -397,9 +431,27 @@ impl SnowSolver {
         n * n * n
     }
 
-    /// JIT cache statistics `(hits, misses)`.
+    /// JIT cache statistics `(hits, misses)`. With plan dispatch these
+    /// are fixed at construction: steady-state cycles never look up.
     pub fn cache_stats(&self) -> (u64, u64) {
-        self.cache.stats()
+        let s = self.plan.cache_stats();
+        (s.hits, s.misses)
+    }
+
+    /// Full build-time cache counters, including the C JIT backend's
+    /// on-disk artifact cache (`disk_hits`/`disk_misses`).
+    pub fn plan_cache_stats(&self) -> CacheStats {
+        self.plan.cache_stats()
+    }
+
+    /// Operator slots in the compiled plan.
+    pub fn plan_ops(&self) -> usize {
+        self.plan.len()
+    }
+
+    /// Seconds the one-time plan build spent compiling.
+    pub fn plan_build_seconds(&self) -> f64 {
+        self.plan.build_seconds()
     }
 }
 
@@ -551,14 +603,42 @@ mod tests {
     }
 
     #[test]
-    fn cache_compiles_each_level_once() {
+    fn plan_compiles_each_group_once_and_dispatch_is_lookup_free() {
         let mut s =
             SnowSolver::new(Problem::poisson_cc(8), Box::new(SequentialBackend::new())).unwrap();
-        s.solve(3).unwrap();
-        let (hits, misses) = s.cache_stats();
         // 2 levels × (smooth + residual) + 1 × (restrict + restrict_rhs +
-        // interp_pc + interp_linear) = 8.
-        assert_eq!(misses, 8);
-        assert!(hits > misses, "repeated runs must hit the cache");
+        // interp_pc + interp_linear) = 8 ops, all distinct.
+        assert_eq!(s.plan_ops(), 8);
+        let built = s.plan_cache_stats();
+        assert_eq!(built.misses, 8, "one compile per distinct group");
+        assert_eq!(built.hits, 0, "no duplicate ops in this configuration");
+        s.solve(3).unwrap();
+        assert_eq!(
+            s.plan_cache_stats(),
+            built,
+            "steady-state cycles must perform zero cache lookups"
+        );
+    }
+
+    #[test]
+    fn solve_options_early_exit_truncates_the_norm_history() {
+        let p = Problem::poisson_cc(8);
+        let mut full = SnowSolver::new(p, Box::new(SequentialBackend::new())).unwrap();
+        let full_norms = full.solve(8).unwrap();
+        assert_eq!(full_norms.len(), 9);
+        let mut early = SnowSolver::new(p, Box::new(SequentialBackend::new())).unwrap();
+        let early_norms = early
+            .solve(SolveOptions::cycles(8).with_rtol(1e-4))
+            .unwrap();
+        assert!(
+            early_norms.len() < full_norms.len(),
+            "rtol must stop early: {early_norms:?}"
+        );
+        let last = early_norms.last().unwrap();
+        assert!(last / early_norms[0] <= 1e-4);
+        // The prefix matches the unbounded run bitwise.
+        for (a, b) in early_norms.iter().zip(&full_norms) {
+            assert_eq!(a, b);
+        }
     }
 }

@@ -6,32 +6,24 @@
 //!     cargo run --release --example multigrid_solver -- oclsim 32
 //!     cargo run --release --example multigrid_solver -- cjit 64
 //!
-//! Arguments: [backend] [finest-size] [vcycles]; backend is one of
-//! interp | seq | omp | oclsim | cjit.
+//! Arguments: [backend] [finest-size] [vcycles]; backend is any
+//! registry name (`available_backends()`).
 
 use std::time::Instant;
 
-use snowflake::backends::{
-    Backend, CJitBackend, InterpreterBackend, OclSimBackend, OmpBackend, SequentialBackend,
-};
+use snowflake::backends::{backend_from_name, BackendOptions};
 use snowflake::hpgmg::{HandSolver, Problem, SnowSolver};
-
-fn backend_by_name(name: &str) -> Box<dyn Backend> {
-    match name {
-        "interp" => Box::new(InterpreterBackend),
-        "seq" => Box::new(SequentialBackend::new()),
-        "omp" => Box::new(OmpBackend::new()),
-        "oclsim" => Box::new(OclSimBackend::new()),
-        "cjit" => Box::new(CJitBackend::new()),
-        other => panic!("unknown backend {other:?} (interp|seq|omp|oclsim|cjit)"),
-    }
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let backend_name = args.get(1).map(String::as_str).unwrap_or("omp");
     let n: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(32);
     let cycles: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(10);
+
+    let backend = backend_from_name(backend_name, &BackendOptions::default()).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
 
     let problem = Problem::poisson_vc(n);
     println!(
@@ -41,7 +33,7 @@ fn main() {
 
     // --- Snowflake-driven solver -----------------------------------------
     println!("\n[Snowflake / {backend_name}]");
-    let mut solver = SnowSolver::new(problem, backend_by_name(backend_name)).expect("build solver");
+    let mut solver = SnowSolver::new(problem, backend).expect("build solver");
     let t0 = Instant::now();
     let norms = solver.solve(cycles).expect("solve");
     let dt = t0.elapsed().as_secs_f64();

@@ -53,8 +53,9 @@ pub use snowflake_ir as ir;
 /// Everything a typical program needs, in one import.
 pub mod prelude {
     pub use snowflake_backends::{
-        Backend, CJitBackend, CompileCache, Executable, InterpreterBackend, OclSimBackend,
-        OmpBackend, RunReport, SequentialBackend,
+        available_backends, backend_from_name, Backend, BackendOptions, CJitBackend, CompileCache,
+        Executable, InterpreterBackend, OclSimBackend, OmpBackend, RunReport, SequentialBackend,
+        SolverPlan,
     };
     pub use snowflake_core::{
         weights1, weights2, weights3, AffineMap, Component, DomainUnion, Expr, RectDomain,

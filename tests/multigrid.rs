@@ -5,7 +5,7 @@
 
 use snowflake::backends::{Backend, CJitBackend, OclSimBackend, OmpBackend, SequentialBackend};
 use snowflake::hpgmg::verify::{assert_reports_match, verify_hand, verify_snow};
-use snowflake::hpgmg::{HandSolver, Problem, Smoother, SnowSolver};
+use snowflake::hpgmg::{HandSolver, Problem, Smoother, SnowSolver, SolveOptions};
 
 #[test]
 fn hand_solver_converges_at_multigrid_rates() {
@@ -76,17 +76,23 @@ fn solver_reaches_discrete_solution_to_machine_precision() {
 }
 
 #[test]
-fn cache_amortizes_compilation_across_cycles() {
+fn plan_amortizes_compilation_and_cycles_never_look_up() {
     let mut solver =
         SnowSolver::new(Problem::poisson_vc(16), Box::new(SequentialBackend::new())).unwrap();
-    solver.solve(4).unwrap();
-    let (hits, misses) = solver.cache_stats();
     // 3 levels: 3 smooth + 3 residual + 2 × (restrict + restrict_rhs +
-    // interp_pc + interp_linear) = 14 groups.
-    assert_eq!(misses, 14, "one compilation per distinct (group, shape)");
-    assert!(
-        hits >= 4 * misses,
-        "cycles must reuse the JIT cache: {hits} hits"
+    // interp_pc + interp_linear) = 14 groups, compiled once at plan build.
+    assert_eq!(solver.plan_ops(), 14);
+    let built = solver.cache_stats();
+    assert_eq!(
+        built,
+        (0, 14),
+        "one compilation per distinct (group, shape)"
+    );
+    solver.solve(4).unwrap();
+    assert_eq!(
+        solver.cache_stats(),
+        built,
+        "steady-state cycles must not touch the compile cache"
     );
 }
 
@@ -125,9 +131,9 @@ fn chebyshev_smoother_is_backend_portable() {
 fn fcycle_start_accelerates_convergence() {
     let p = Problem::poisson_vc(16);
     let mut plain = HandSolver::new(p);
-    let nv = plain.solve_opts(3, false);
+    let nv = plain.solve(SolveOptions::cycles(3));
     let mut fmg = HandSolver::new(p);
-    let nf = fmg.solve_opts(3, true);
+    let nf = fmg.solve(SolveOptions::cycles(3).with_fmg(true));
     assert!(
         nf[1] < nv[1],
         "F-cycle first step should beat a zero-guess V-cycle: {nf:?} vs {nv:?}"
@@ -138,7 +144,7 @@ fn fcycle_start_accelerates_convergence() {
     );
     // Snowflake F-cycle agrees with hand.
     let mut snow = SnowSolver::new(p, Box::new(SequentialBackend::new())).unwrap();
-    let ns = snow.solve_opts(3, true).unwrap();
+    let ns = snow.solve(SolveOptions::cycles(3).with_fmg(true)).unwrap();
     for (a, b) in nf.iter().zip(&ns) {
         assert!(((a - b) / a.abs().max(1e-300)).abs() < 1e-7, "{a} vs {b}");
     }
