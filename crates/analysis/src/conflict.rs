@@ -13,8 +13,9 @@ use snowflake_grid::Region;
 use crate::dio::{ranges_intersect, StridedRange};
 
 /// The image of region dimension `d` under map dimension `d`, as a strided
-/// range.
-fn access_range(region: &Region, map: &AffineMap, d: usize) -> StridedRange {
+/// range. Shared with the [`verify`](crate::verify) layer, which uses it
+/// to construct witness cells from per-dimension Diophantine solutions.
+pub(crate) fn access_range(region: &Region, map: &AffineMap, d: usize) -> StridedRange {
     let n = region.extent(d) as i128;
     let start = map.scale[d] as i128 * region.lo[d] as i128 + map.offset[d] as i128;
     let step = map.scale[d] as i128 * region.stride[d] as i128;

@@ -164,6 +164,8 @@ mod tests {
         Component::new(grid, weights2![[0, 1, 0], [1, -4, 1], [0, 1, 0]]).expand()
     }
 
+    // By-value keeps the many test call sites terse.
+    #[allow(clippy::needless_pass_by_value)]
     fn resolved(s: Stencil, n: usize) -> ResolvedStencil {
         ResolvedStencil::resolve(&s, &shapes(n)).unwrap()
     }

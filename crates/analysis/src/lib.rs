@@ -25,6 +25,9 @@
 //! * [`schedule`] — group-level planning: dependence DAG, the greedy
 //!   barrier grouping used by the OpenMP backend, and dead-stencil
 //!   elimination.
+//! * [`verify`] — the certification layer: the same questions re-asked
+//!   with typed [`Diagnostic`]s, release-mode rank checking, and concrete
+//!   witness cells constructed from the Diophantine solutions.
 
 pub mod conflict;
 pub mod deps;
@@ -32,6 +35,7 @@ pub mod dio;
 pub mod math;
 pub mod report;
 pub mod schedule;
+pub mod verify;
 
 pub use conflict::{access_conflict, regions_overlap, self_conflict};
 pub use deps::{depends, is_parallel_safe, writes_disjoint, DepKind, ResolvedStencil};
@@ -39,4 +43,8 @@ pub use report::report;
 pub use schedule::{
     dead_stencils, dependence_dag, fusible_pairs, greedy_phases, reorder_minimize_barriers,
     Schedule,
+};
+pub use verify::{
+    certify_schedule, checked_access_conflict, checked_depends, verify_bounds, Diagnostic,
+    DiagnosticKind, Hazard, ScheduleCertificate,
 };

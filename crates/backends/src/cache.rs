@@ -55,6 +55,13 @@ impl CompileCache {
         self.backend.name()
     }
 
+    /// Lowering options of the wrapped backend (see
+    /// [`crate::Backend::lower_options`]); the static verifier replays
+    /// these to certify the exact schedule the backend will execute.
+    pub fn lower_options(&self) -> snowflake_ir::LowerOptions {
+        self.backend.lower_options()
+    }
+
     /// Fetch or compile the executable for (group, shapes).
     ///
     /// Holds the cache lock across the compile, so N racing callers of the

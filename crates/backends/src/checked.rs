@@ -1,0 +1,497 @@
+//! The `checked` backend: a runtime sanitizer for compiled plans.
+//!
+//! An instrumented interpreter over the *lowered* form — the same bytecode
+//! kernels, cursor classes, regions and barrier phases every compiled
+//! backend executes — that validates at run time exactly the two
+//! properties the static verifier (`crate::verify`) proves at plan time:
+//!
+//! * **no out-of-bounds access** — every read and write's flat index is
+//!   range-checked against the dense grid allocation before it happens;
+//! * **no intra-phase write overlap** — a per-phase shadow write-set
+//!   records which kernel wrote each cell; a second write to the same cell
+//!   within one barrier phase is a violation unless it comes from the same
+//!   *sequential* kernel (an in-place kernel may legally revisit its own
+//!   cells; a `parallel_safe` kernel may not, since its iterations could
+//!   run concurrently).
+//!
+//! Execution order per point is kept **bitwise identical** to the
+//! sequential backend: the linear/poly/bytecode accumulation orders below
+//! mirror `crate::exec` term for term, so `checked` ≡ `seq` exactly on
+//! every grid — the sanitizer only observes. Static and dynamic analyses
+//! must agree: any plan `verify_plan` certifies must run here with zero
+//! violations, and every seeded violation the verifier witnesses must also
+//! trip these checks.
+
+use std::collections::HashMap;
+
+use snowflake_core::{CoreError, Result, ShapeMap, StencilGroup};
+use snowflake_grid::{GridSet, Region};
+use snowflake_ir::{lower_group, LowerOptions, Lowered, LoweredKernel, Op};
+
+use crate::exec::check_limits;
+use crate::metrics::RunReport;
+use crate::{Backend, Executable};
+
+/// The sanitizer backend ("checked" in the registry).
+#[derive(Clone, Debug, Default)]
+pub struct CheckedBackend {
+    /// Lowering options (dead-stencil elimination etc.).
+    pub options: LowerOptions,
+}
+
+impl CheckedBackend {
+    /// Backend with default options.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the lowering options (builder style).
+    pub fn with_options(mut self, options: LowerOptions) -> Self {
+        self.options = options;
+        self
+    }
+}
+
+impl Backend for CheckedBackend {
+    fn name(&self) -> &'static str {
+        "checked"
+    }
+
+    fn compile(&self, group: &StencilGroup, shapes: &ShapeMap) -> Result<Box<dyn Executable>> {
+        let lowered = lower_group(group, shapes, &self.options)?;
+        for k in &lowered.kernels {
+            check_limits(k)?;
+        }
+        Ok(Box::new(CheckedExecutable { lowered }))
+    }
+
+    fn lower_options(&self) -> LowerOptions {
+        self.options.clone()
+    }
+}
+
+struct CheckedExecutable {
+    lowered: Lowered,
+}
+
+/// Shadow write-set for one barrier phase: `(grid, flat index) → kernel`.
+type WriteSet = HashMap<(usize, usize), usize>;
+
+fn oob_violation(
+    lowered: &Lowered,
+    kernel: &LoweredKernel,
+    grid: usize,
+    idx: isize,
+    point: &[i64],
+    what: &str,
+) -> CoreError {
+    CoreError::Backend(format!(
+        "checked backend: kernel {:?} {what} out of bounds on grid {:?}: flat index {idx} \
+         (allocation has {} cells) at iteration point {point:?}",
+        kernel.name,
+        lowered.grid_names[grid],
+        lowered.grid_shapes[grid].iter().product::<usize>(),
+    ))
+}
+
+/// Evaluate one iteration point with range-checked reads, in the exact
+/// accumulation order of `crate::exec` (bitwise parity with `seq`).
+fn eval_point(
+    kernel: &LoweredKernel,
+    cur: &[isize],
+    bufs: &[Vec<f64>],
+    stack: &mut Vec<f64>,
+) -> std::result::Result<f64, (usize, isize)> {
+    let read = |c: usize, d: isize| -> std::result::Result<f64, (usize, isize)> {
+        let g = kernel.classes[c].grid;
+        let idx = cur[c] + d;
+        if idx < 0 || idx as usize >= bufs[g].len() {
+            Err((g, idx))
+        } else {
+            Ok(bufs[g][idx as usize])
+        }
+    };
+    if let Some(lf) = &kernel.linear {
+        let mut acc = lf.bias;
+        for &(c, d, k) in &lf.terms {
+            acc += k * read(c as usize, d)?;
+        }
+        Ok(acc)
+    } else if let Some(pf) = &kernel.poly {
+        let mut acc = pf.bias;
+        let mut r = 0usize;
+        for (t, &coeff) in pf.flat_coeffs.iter().enumerate() {
+            let mut prod = coeff;
+            let len = pf.flat_lens[t] as usize;
+            for &(c, d) in &pf.flat_reads[r..r + len] {
+                prod *= read(c as usize, d)?;
+            }
+            r += len;
+            acc += prod;
+        }
+        Ok(acc)
+    } else {
+        stack.clear();
+        for op in &kernel.program.ops {
+            match *op {
+                Op::Const(v) => stack.push(v),
+                Op::Read { class, delta } => stack.push(read(class as usize, delta)?),
+                Op::Add => {
+                    let v = stack.pop().unwrap();
+                    *stack.last_mut().unwrap() += v;
+                }
+                Op::Sub => {
+                    let v = stack.pop().unwrap();
+                    *stack.last_mut().unwrap() -= v;
+                }
+                Op::Mul => {
+                    let v = stack.pop().unwrap();
+                    *stack.last_mut().unwrap() *= v;
+                }
+                Op::Div => {
+                    let v = stack.pop().unwrap();
+                    *stack.last_mut().unwrap() /= v;
+                }
+                Op::Neg => {
+                    let v = stack.last_mut().unwrap();
+                    *v = -*v;
+                }
+            }
+        }
+        Ok(stack.pop().unwrap())
+    }
+}
+
+/// The iteration point for error reporting: the odometer position `p`
+/// with the innermost coordinate advanced `i` steps.
+fn point_at(p: &[i64], last: usize, region: &Region, i: i64) -> Vec<i64> {
+    let mut w = p.to_vec();
+    w[last] = region.lo[last] + i * region.stride[last];
+    w
+}
+
+/// Run one kernel over one region with checked reads, checked writes and
+/// shadow write-set tracking. Traversal order mirrors
+/// `exec::run_kernel_region` exactly.
+fn run_region_checked(
+    lowered: &Lowered,
+    ki: usize,
+    region: &Region,
+    bufs: &mut [Vec<f64>],
+    writes: &mut WriteSet,
+    stack: &mut Vec<f64>,
+) -> Result<()> {
+    let kernel = &lowered.kernels[ki];
+    if region.is_empty() {
+        return Ok(());
+    }
+    let nd = region.ndim();
+    let last = nd - 1;
+    let ncls = kernel.classes.len();
+    let mut inner_step = vec![0isize; ncls];
+    for (c, cl) in kernel.classes.iter().enumerate() {
+        inner_step[c] = cl.step(last, region.stride[last]);
+    }
+    let out_class = kernel.out_class as usize;
+    let out_grid = kernel.out_grid;
+    let out_step = inner_step[out_class];
+    let e_last = region.extent(last);
+    let mut p = region.lo.clone();
+    let mut cur = vec![0isize; ncls];
+    loop {
+        for (c, cl) in kernel.classes.iter().enumerate() {
+            cur[c] = cl.cursor_at(&p);
+        }
+        let mut out_idx = cur[out_class] + kernel.out_delta;
+        for i in 0..e_last {
+            let v = eval_point(kernel, &cur, bufs, stack).map_err(|(g, idx)| {
+                oob_violation(
+                    lowered,
+                    kernel,
+                    g,
+                    idx,
+                    &point_at(&p, last, region, i),
+                    "read",
+                )
+            })?;
+            if out_idx < 0 || out_idx as usize >= bufs[out_grid].len() {
+                return Err(oob_violation(
+                    lowered,
+                    kernel,
+                    out_grid,
+                    out_idx,
+                    &point_at(&p, last, region, i),
+                    "write",
+                ));
+            }
+            let key = (out_grid, out_idx as usize);
+            match writes.get(&key) {
+                Some(&prev) if prev != ki || kernel.parallel_safe => {
+                    return Err(CoreError::Backend(format!(
+                        "checked backend: intra-phase write overlap on grid {:?} flat index \
+                         {out_idx}: kernel {:?} writes a cell already written by kernel {:?} \
+                         in the same barrier phase, at iteration point {:?}",
+                        lowered.grid_names[out_grid],
+                        kernel.name,
+                        lowered.kernels[prev].name,
+                        point_at(&p, last, region, i),
+                    )));
+                }
+                Some(_) => {}
+                None => {
+                    writes.insert(key, ki);
+                }
+            }
+            bufs[out_grid][out_idx as usize] = v;
+            for s in 0..ncls {
+                cur[s] += inner_step[s];
+            }
+            out_idx += out_step;
+        }
+        if nd == 1 {
+            return Ok(());
+        }
+        let mut d = last - 1;
+        loop {
+            p[d] += region.stride[d];
+            if p[d] < region.hi[d] {
+                break;
+            }
+            p[d] = region.lo[d];
+            if d == 0 {
+                return Ok(());
+            }
+            d -= 1;
+        }
+    }
+}
+
+impl CheckedExecutable {
+    /// Shared execution path. Grids are snapshotted into plain vectors so
+    /// every access goes through safe, range-checked indexing; the
+    /// snapshots are written back only when the whole run is violation
+    /// free (a failed run leaves the grid set untouched).
+    fn run_impl(&self, grids: &mut GridSet, mut report: Option<&mut RunReport>) -> Result<()> {
+        let mut bufs: Vec<Vec<f64>> = Vec::with_capacity(self.lowered.grid_names.len());
+        for (name, shape) in self
+            .lowered
+            .grid_names
+            .iter()
+            .zip(&self.lowered.grid_shapes)
+        {
+            let g = grids.get(name).ok_or_else(|| CoreError::UnknownGrid {
+                stencil: String::new(),
+                grid: name.clone(),
+            })?;
+            if g.shape() != shape.as_slice() {
+                return Err(CoreError::Backend(format!(
+                    "grid {name:?} has shape {:?} but group was compiled for {:?}",
+                    g.shape(),
+                    shape
+                )));
+            }
+            bufs.push(g.as_slice().to_vec());
+        }
+        let stack_need = self
+            .lowered
+            .kernels
+            .iter()
+            .map(|k| k.program.stack_need)
+            .max()
+            .unwrap_or(0);
+        let mut stack = Vec::with_capacity(stack_need);
+        let mut writes = WriteSet::new();
+        for (pi, phase) in self.lowered.phases.iter().enumerate() {
+            writes.clear();
+            let t0 = report.as_ref().map(|_| std::time::Instant::now());
+            let mut regions_run = 0u64;
+            for &ki in phase {
+                let kernel = &self.lowered.kernels[ki];
+                for region in &kernel.regions {
+                    run_region_checked(
+                        &self.lowered,
+                        ki,
+                        region,
+                        &mut bufs,
+                        &mut writes,
+                        &mut stack,
+                    )?;
+                }
+                regions_run += kernel.regions.len() as u64;
+            }
+            if let (Some(r), Some(t0)) = (report.as_deref_mut(), t0) {
+                r.record_phase(pi, t0.elapsed().as_secs_f64(), regions_run);
+                r.kernels.tiles += regions_run;
+                // The sanitizer is single-threaded by construction.
+                r.kernels.sequential_tasks += regions_run;
+            }
+        }
+        for (name, buf) in self.lowered.grid_names.iter().zip(&bufs) {
+            grids
+                .get_mut(name)
+                .unwrap()
+                .as_mut_slice()
+                .copy_from_slice(buf);
+        }
+        Ok(())
+    }
+}
+
+impl Executable for CheckedExecutable {
+    fn run(&self, grids: &mut GridSet) -> Result<()> {
+        self.run_impl(grids, None)
+    }
+
+    fn run_with_report(&self, grids: &mut GridSet, report: &mut RunReport) -> Result<()> {
+        report.set_backend("checked");
+        let t0 = std::time::Instant::now();
+        self.run_impl(grids, Some(report))?;
+        report.kernels.points += self.points_per_run();
+        report.finish_run(t0.elapsed().as_secs_f64());
+        Ok(())
+    }
+
+    fn points_per_run(&self) -> u64 {
+        self.lowered.num_points()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SequentialBackend;
+    use snowflake_core::{DomainUnion, Expr, RectDomain, Stencil};
+    use snowflake_grid::Grid;
+
+    fn red_black_group() -> StencilGroup {
+        let m = |i: i64, j: i64| Expr::read_at("mesh", &[i, j]);
+        let update = m(0, 0)
+            + 0.25 * (Expr::read_at("rhs", &[0, 0]) - (m(-1, 0) + m(1, 0) + m(0, -1) + m(0, 1)));
+        let (red, black) = DomainUnion::red_black(2);
+        StencilGroup::new()
+            .with(Stencil::new(update.clone(), "mesh", red).named("red"))
+            .with(Stencil::new(update, "mesh", black).named("black"))
+    }
+
+    fn grid_set(n: usize) -> GridSet {
+        let mut gs = GridSet::new();
+        let mut x = Grid::new(&[n, n]);
+        x.fill_random(11, -1.0, 1.0);
+        gs.insert("mesh", x);
+        let mut b = Grid::new(&[n, n]);
+        b.fill_random(12, -1.0, 1.0);
+        gs.insert("rhs", b);
+        gs
+    }
+
+    /// The sanitizer's whole contract: identical bits to `seq`, zero
+    /// violations, on a real red-black smooth.
+    #[test]
+    fn checked_is_bitwise_identical_to_seq() {
+        let group = red_black_group();
+        let mut gs_seq = grid_set(10);
+        let mut gs_chk = grid_set(10);
+        let shapes = gs_seq.shapes();
+        SequentialBackend::new()
+            .compile(&group, &shapes)
+            .unwrap()
+            .run(&mut gs_seq)
+            .unwrap();
+        CheckedBackend::new()
+            .compile(&group, &shapes)
+            .unwrap()
+            .run(&mut gs_chk)
+            .unwrap();
+        assert_eq!(
+            gs_seq.get("mesh").unwrap().as_slice(),
+            gs_chk.get("mesh").unwrap().as_slice(),
+            "checked must be bitwise identical to seq"
+        );
+    }
+
+    /// Doctor a lowered kernel's output delta so it writes past the
+    /// allocation: the sanitizer must trip with a witness point, and the
+    /// grids must be left untouched.
+    #[test]
+    fn seeded_oob_write_is_caught_with_witness() {
+        let group = StencilGroup::from(Stencil::new(
+            Expr::read_at("x", &[0, 0]),
+            "y",
+            RectDomain::all(2),
+        ));
+        let mut shapes = ShapeMap::new();
+        shapes.insert("x".into(), vec![6, 6]);
+        shapes.insert("y".into(), vec![6, 6]);
+        let mut lowered = lower_group(&group, &shapes, &LowerOptions::default()).unwrap();
+        lowered.kernels[0].out_delta += 1_000;
+        let exe = CheckedExecutable { lowered };
+        let mut gs = GridSet::new();
+        gs.insert("x", Grid::from_fn(&[6, 6], |p| p[0] as f64));
+        gs.insert("y", Grid::new(&[6, 6]));
+        let err = exe.run(&mut gs).unwrap_err().to_string();
+        assert!(err.contains("write out of bounds"), "got: {err}");
+        assert!(err.contains("iteration point"), "got: {err}");
+        // Failed runs must not publish partial results.
+        assert!(gs.get("y").unwrap().as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    /// Merge two dependent kernels into one barrier phase: the shadow
+    /// write-set must flag the overlap at runtime, mirroring the static
+    /// verifier's phase-hazard witness.
+    #[test]
+    fn seeded_intra_phase_overlap_is_caught() {
+        let group = StencilGroup::new()
+            .with(Stencil::new(Expr::read_at("x", &[0, 0]), "y", RectDomain::all(2)).named("first"))
+            .with(
+                Stencil::new(Expr::read_at("x", &[0, 0]) * 2.0, "y", RectDomain::all(2))
+                    .named("second"),
+            );
+        let mut shapes = ShapeMap::new();
+        shapes.insert("x".into(), vec![4, 4]);
+        shapes.insert("y".into(), vec![4, 4]);
+        let mut lowered = lower_group(&group, &shapes, &LowerOptions::default()).unwrap();
+        // The greedy schedule correctly separates the WAW pair; force them
+        // into one phase to seed the race.
+        assert_eq!(lowered.phases.len(), 2);
+        lowered.phases = vec![vec![0, 1]];
+        let exe = CheckedExecutable { lowered };
+        let mut gs = GridSet::new();
+        gs.insert("x", Grid::from_fn(&[4, 4], |p| (p[0] + p[1]) as f64));
+        gs.insert("y", Grid::new(&[4, 4]));
+        let err = exe.run(&mut gs).unwrap_err().to_string();
+        assert!(err.contains("intra-phase write overlap"), "got: {err}");
+        assert!(err.contains("\"first\""), "got: {err}");
+    }
+
+    #[test]
+    fn in_place_sequential_kernel_is_legal() {
+        // Gauss–Seidel style in-place sweep: reads and writes "x" at the
+        // same cells, is not parallel-safe, and must run clean (revisits
+        // are by the same sequential kernel).
+        let s = Stencil::new(
+            Expr::read_at("x", &[-1]) + Expr::read_at("x", &[0]),
+            "x",
+            RectDomain::interior(1),
+        );
+        let mut shapes = ShapeMap::new();
+        shapes.insert("x".into(), vec![8]);
+        let exe = CheckedBackend::new()
+            .compile(&StencilGroup::from(s), &shapes)
+            .unwrap();
+        let mut gs = GridSet::new();
+        gs.insert("x", Grid::from_fn(&[8], |p| p[0] as f64));
+        exe.run(&mut gs).unwrap();
+    }
+
+    #[test]
+    fn report_records_backend_and_phases() {
+        let group = red_black_group();
+        let mut gs = grid_set(8);
+        let exe = CheckedBackend::new().compile(&group, &gs.shapes()).unwrap();
+        let mut report = RunReport::new();
+        exe.run_with_report(&mut gs, &mut report).unwrap();
+        assert_eq!(report.backend, "checked");
+        assert_eq!(report.phases.len(), 2);
+        assert!(report.kernels.points > 0);
+    }
+}

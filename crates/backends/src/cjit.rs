@@ -304,6 +304,10 @@ impl Backend for CJitBackend {
         self.disk_stats()
     }
 
+    fn lower_options(&self) -> LowerOptions {
+        self.options.clone()
+    }
+
     fn compile(&self, group: &StencilGroup, shapes: &ShapeMap) -> Result<Box<dyn Executable>> {
         if !Self::available() {
             return Err(CoreError::Backend(format!(

@@ -99,6 +99,10 @@ impl Backend for DistBackend {
     fn compile(&self, group: &StencilGroup, shapes: &ShapeMap) -> Result<Box<dyn Executable>> {
         Ok(Box::new(self.compile_dist(group, shapes)?))
     }
+
+    fn lower_options(&self) -> LowerOptions {
+        self.options.clone()
+    }
 }
 
 impl DistBackend {
@@ -200,8 +204,9 @@ impl DistExecutable {
             return 0;
         }
         let plane: usize = shape[1..].iter().product();
-        let a = lo as usize * plane;
-        let b = hi as usize * plane;
+        // lo/hi are clamped non-negative plane indices; the cast is exact.
+        #[allow(clippy::cast_possible_truncation)]
+        let (a, b) = (lo as usize * plane, hi as usize * plane);
         dst.as_mut_slice()[a..b].copy_from_slice(&src.as_slice()[a..b]);
         ((b - a) * std::mem::size_of::<f64>()) as u64
     }

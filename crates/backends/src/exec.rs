@@ -329,6 +329,8 @@ unsafe fn run_row_linear_unit(
     out_start: isize,
 ) {
     let mut done = 0usize;
+    // count is a non-negative region extent; the cast is exact.
+    #[allow(clippy::cast_possible_truncation)]
     let total = count as usize;
     let mut acc = [0.0f64; CHUNK];
     while done < total {
@@ -364,6 +366,8 @@ unsafe fn run_row_poly_unit(
     out_start: isize,
 ) {
     let mut done = 0usize;
+    // count is a non-negative region extent; the cast is exact.
+    #[allow(clippy::cast_possible_truncation)]
     let total = count as usize;
     let mut acc = [0.0f64; CHUNK];
     let mut prod = [0.0f64; CHUNK];
@@ -533,6 +537,8 @@ mod tests {
     }
 
     #[test]
+    // The reference loop indexes with interior points; casts are exact.
+    #[allow(clippy::cast_possible_truncation)]
     fn laplacian_matches_expr_eval() {
         let n = 12;
         let (mut gs, shapes) = setup(n);

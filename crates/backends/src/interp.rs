@@ -90,12 +90,16 @@ fn run_stencil(stencil: &Stencil, regions: &[Region], grids: &mut GridSet) -> Re
                 let grids_ref: &GridSet = grids;
                 let mut read = |g: &str, idx: &[i64]| {
                     let grid = grids_ref.get(g).expect("validated grid");
+                    // Resolution proved every access index non-negative.
+                    #[allow(clippy::cast_possible_truncation)]
                     let uidx: Vec<usize> = idx.iter().map(|&v| v as usize).collect();
                     grid.get(&uidx)
                 };
                 expr.eval(&p, &mut read)
             };
             let widx = out_map.apply(&p);
+            // Resolution proved every write index non-negative.
+            #[allow(clippy::cast_possible_truncation)]
             let uw: Vec<usize> = widx.iter().map(|&v| v as usize).collect();
             grids
                 .get_mut(&out_name)

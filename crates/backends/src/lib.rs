@@ -13,6 +13,7 @@
 //! | [`omp::OmpBackend`] | C + OpenMP | rayon task farm; greedy barrier phases, arbitrary-dimension tiling, multicolor reordering |
 //! | [`oclsim::OclSimBackend`] | C + OpenCL (execution model) | tall-skinny 2-D blocking rolled through the remaining dimension, work-groups executed on CPU threads |
 //! | [`cjit::CJitBackend`] | C + OpenMP via a real C compiler | emits C99 (see [`codegen_c`]), invokes the system `cc`, `dlopen`s the result — the paper's actual JIT pipeline |
+//! | [`checked::CheckedBackend`] | — (sanitizer) | instrumented interpreter over the lowered form: range-checks every access, tracks per-phase shadow write-sets, bitwise-identical to `seq` |
 //!
 //! [`codegen_c`] and [`codegen_ocl`] emit C/OpenMP and OpenCL source from
 //! the lowered IR; `cjit` executes the former, while the latter documents
@@ -28,6 +29,7 @@
 //! with a string instead of duplicated match arms.
 
 pub mod cache;
+pub mod checked;
 pub mod cjit;
 pub mod codegen_c;
 pub mod codegen_cuda;
@@ -41,21 +43,27 @@ pub mod omp;
 pub mod plan;
 pub mod registry;
 pub mod seq;
+pub mod verify;
 pub mod view;
 
 use snowflake_core::{Result, ShapeMap, StencilGroup};
 use snowflake_grid::GridSet;
 
 pub use cache::CompileCache;
+pub use checked::CheckedBackend;
 pub use cjit::CJitBackend;
 pub use dist::DistBackend;
 pub use interp::InterpreterBackend;
-pub use metrics::{CacheStats, CommStats, KernelCounters, PhaseSample, RunReport};
+pub use metrics::{CacheStats, CommStats, KernelCounters, PhaseSample, RunReport, VerifyStats};
 pub use oclsim::OclSimBackend;
 pub use omp::OmpBackend;
 pub use plan::SolverPlan;
 pub use registry::{available_backends, backend_from_name, BackendOptions};
 pub use seq::SequentialBackend;
+pub use verify::{
+    diagnostics_to_error, verify_op, verify_plan, witness_count, OpCertificate, PlanCertificate,
+    VerifyingBackend,
+};
 
 /// A compiled stencil group, ready to run against a [`GridSet`].
 pub trait Executable: Send + Sync {
@@ -102,6 +110,16 @@ pub trait Backend: Send + Sync {
     /// zeros via this default.
     fn disk_cache_stats(&self) -> (u64, u64) {
         (0, 0)
+    }
+
+    /// The lowering options this backend compiles with. The static
+    /// verifier ([`verify::verify_plan`]) replays these so it certifies
+    /// the *exact* schedule the backend executes (dead-stencil
+    /// elimination and phase reordering change the phases). Backends with
+    /// configurable lowering override this; the default covers backends
+    /// that always lower with defaults (e.g. the interpreter).
+    fn lower_options(&self) -> snowflake_ir::LowerOptions {
+        snowflake_ir::LowerOptions::default()
     }
 }
 

@@ -75,6 +75,21 @@ pub struct KernelCounters {
     pub sequential_tasks: u64,
 }
 
+/// Static-verifier counters: what `verify_plan` proved about the plan
+/// that produced this report (all zero when the run was not verified).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VerifyStats {
+    /// Stencils resolved and re-analyzed by the verifier.
+    pub stencils_checked: u64,
+    /// `(access, rectangle)` pairs proved in-bounds (source + lowered).
+    pub accesses_proved: u64,
+    /// Barrier phases proved pairwise hazard-free.
+    pub phases_certified: u64,
+    /// Witness diagnostics found (always zero on a certified run — a
+    /// plan with witnesses is refused before execution).
+    pub witnesses: u64,
+}
+
 /// A structured, accumulating profile of one executable (or one solver).
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunReport {
@@ -98,6 +113,8 @@ pub struct RunReport {
     pub cache: CacheStats,
     /// Halo-exchange counters (distributed backend only).
     pub comm: CommStats,
+    /// Static-verification counters (zero unless the plan was verified).
+    pub verify: VerifyStats,
 }
 
 impl RunReport {
@@ -165,6 +182,15 @@ impl RunReport {
             ",\"comm\":{{\"messages\":{},\"bytes\":{}}}",
             self.comm.messages, self.comm.bytes
         );
+        let _ = write!(
+            s,
+            ",\"verify\":{{\"stencils_checked\":{},\"accesses_proved\":{},\
+             \"phases_certified\":{},\"witnesses\":{}}}",
+            self.verify.stencils_checked,
+            self.verify.accesses_proved,
+            self.verify.phases_certified,
+            self.verify.witnesses
+        );
         s.push_str(",\"phases\":[");
         for (i, p) in self.phases.iter().enumerate() {
             if i > 0 {
@@ -223,6 +249,8 @@ pub mod json {
         }
 
         /// Integer value, if this is a whole number.
+        // Guarded by the sign and fract checks; report counters fit u64.
+        #[allow(clippy::cast_possible_truncation)]
         pub fn as_u64(&self) -> Option<u64> {
             match self {
                 Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
@@ -493,6 +521,12 @@ mod tests {
             messages: 4,
             bytes: 4096,
         };
+        r.verify = VerifyStats {
+            stencils_checked: 14,
+            accesses_proved: 96,
+            phases_certified: 9,
+            witnesses: 0,
+        };
         r.compile_seconds = 0.125;
         r.finish_run(1.5);
         r
@@ -529,6 +563,11 @@ mod tests {
         assert_eq!(c.get("disk_misses").unwrap().as_u64(), Some(1));
         let comm = doc.get("comm").unwrap();
         assert_eq!(comm.get("bytes").unwrap().as_u64(), Some(4096));
+        let v = doc.get("verify").unwrap();
+        assert_eq!(v.get("stencils_checked").unwrap().as_u64(), Some(14));
+        assert_eq!(v.get("accesses_proved").unwrap().as_u64(), Some(96));
+        assert_eq!(v.get("phases_certified").unwrap().as_u64(), Some(9));
+        assert_eq!(v.get("witnesses").unwrap().as_u64(), Some(0));
         let phases = doc.get("phases").unwrap().as_array().unwrap();
         assert_eq!(phases.len(), 2);
         assert_eq!(phases[0].get("index").unwrap().as_u64(), Some(0));

@@ -76,6 +76,10 @@ impl Backend for OclSimBackend {
         "oclsim"
     }
 
+    fn lower_options(&self) -> LowerOptions {
+        self.options.clone()
+    }
+
     fn compile(&self, group: &StencilGroup, shapes: &ShapeMap) -> Result<Box<dyn Executable>> {
         let lowered = lower_group(group, shapes, &self.options)?;
         for k in &lowered.kernels {

@@ -158,6 +158,10 @@ impl Backend for OmpBackend {
         "omp"
     }
 
+    fn lower_options(&self) -> LowerOptions {
+        self.options.clone()
+    }
+
     fn compile(&self, group: &StencilGroup, shapes: &ShapeMap) -> Result<Box<dyn Executable>> {
         let lowered = lower_group(group, shapes, &self.options)?;
         for k in &lowered.kernels {
@@ -235,7 +239,11 @@ fn fit_tile(tile: &[i64], ndim: usize) -> Vec<i64> {
     for (d, slot) in out.iter_mut().enumerate() {
         let src = d as i64 - (ndim as i64 - tile.len() as i64);
         if src >= 0 {
-            *slot = tile[src as usize];
+            // src is a checked non-negative small index; the cast is exact.
+            #[allow(clippy::cast_possible_truncation)]
+            {
+                *slot = tile[src as usize];
+            }
         }
     }
     out

@@ -36,6 +36,7 @@ use crate::{Backend, CompileCache, Executable};
 pub struct SolverPlan {
     cache: CompileCache,
     ops: Vec<Arc<dyn Executable>>,
+    descs: Vec<(StencilGroup, ShapeMap)>,
     build_seconds: f64,
 }
 
@@ -57,8 +58,22 @@ impl SolverPlan {
         Ok(SolverPlan {
             cache,
             ops: compiled,
+            descs: ops.to_vec(),
             build_seconds: t0.elapsed().as_secs_f64(),
         })
+    }
+
+    /// The `(group, shapes)` descriptors the plan was built from, in op
+    /// order — the input the static verifier (`crate::verify::verify_plan`)
+    /// re-analyzes to certify the plan.
+    pub fn descriptors(&self) -> &[(StencilGroup, ShapeMap)] {
+        &self.descs
+    }
+
+    /// Lowering options of the compiling backend (what the verifier must
+    /// replay to certify the exact schedule the backend executes).
+    pub fn lower_options(&self) -> snowflake_ir::LowerOptions {
+        self.cache.lower_options()
     }
 
     /// Number of operator slots (`plan_ops`). Structurally identical

@@ -15,13 +15,14 @@ use snowflake_ir::LowerOptions;
 
 use crate::oclsim::WorkGroupShape;
 use crate::omp::OmpOptions;
+use crate::verify::VerifyingBackend;
 use crate::{
-    Backend, CJitBackend, DistBackend, InterpreterBackend, OclSimBackend, OmpBackend,
-    SequentialBackend,
+    Backend, CJitBackend, CheckedBackend, DistBackend, InterpreterBackend, OclSimBackend,
+    OmpBackend, SequentialBackend,
 };
 
 /// Every name [`backend_from_name`] resolves, in documentation order.
-const NAMES: [&str; 6] = ["interp", "seq", "omp", "oclsim", "cjit", "dist"];
+const NAMES: [&str; 7] = ["interp", "seq", "omp", "oclsim", "cjit", "dist", "checked"];
 
 /// The registered backend names.
 pub fn available_backends() -> &'static [&'static str] {
@@ -56,6 +57,11 @@ pub struct BackendOptions {
     pub cache_dir: Option<PathBuf>,
     /// Use the persistent artifact cache (cjit; on by default).
     pub disk_cache: bool,
+    /// Statically verify every compiled group before execution: the
+    /// constructed backend is wrapped in a
+    /// [`crate::verify::VerifyingBackend`], so `compile` fails with the
+    /// verifier's diagnostics instead of running an uncertified plan.
+    pub verify: bool,
 }
 
 impl Default for BackendOptions {
@@ -72,6 +78,7 @@ impl Default for BackendOptions {
             opt_flags: None,
             cache_dir: None,
             disk_cache: true,
+            verify: false,
         }
     }
 }
@@ -112,6 +119,12 @@ impl BackendOptions {
         self.cache_dir = Some(dir.into());
         self
     }
+
+    /// Require static verification before every compile (builder style).
+    pub fn with_verify(mut self, on: bool) -> Self {
+        self.verify = on;
+        self
+    }
 }
 
 /// Construct the backend registered under `name`, configured from `opts`.
@@ -121,6 +134,15 @@ impl BackendOptions {
 /// names — an unusable toolchain (cjit without `cc`) surfaces later, from
 /// `compile`, exactly as when the backend is built directly.
 pub fn backend_from_name(name: &str, opts: &BackendOptions) -> Result<Box<dyn Backend>> {
+    let backend = build_backend(name, opts)?;
+    Ok(if opts.verify {
+        Box::new(VerifyingBackend::new(backend))
+    } else {
+        backend
+    })
+}
+
+fn build_backend(name: &str, opts: &BackendOptions) -> Result<Box<dyn Backend>> {
     match name {
         "interp" => Ok(Box::new(InterpreterBackend)),
         "seq" => Ok(Box::new(SequentialBackend {
@@ -158,6 +180,9 @@ pub fn backend_from_name(name: &str, opts: &BackendOptions) -> Result<Box<dyn Ba
             backend.options = opts.lower.clone();
             Ok(Box::new(backend))
         }
+        "checked" => Ok(Box::new(CheckedBackend {
+            options: opts.lower.clone(),
+        })),
         _ => Err(CoreError::UnknownBackend {
             name: name.to_string(),
             available: NAMES.iter().map(|s| s.to_string()).collect(),
@@ -175,6 +200,19 @@ mod tests {
         for &name in available_backends() {
             let backend = backend_from_name(name, &opts).expect("registered name");
             assert_eq!(backend.name(), name);
+        }
+    }
+
+    #[test]
+    fn verify_knob_wraps_every_backend_name_transparently() {
+        let opts = BackendOptions::default().with_verify(true);
+        for &name in available_backends() {
+            let backend = backend_from_name(name, &opts).expect("registered name");
+            assert_eq!(
+                backend.name(),
+                name,
+                "the verifying wrapper must report the inner backend's name"
+            );
         }
     }
 

@@ -46,6 +46,10 @@ impl Backend for SequentialBackend {
         }
         Ok(Box::new(SeqExecutable { lowered }))
     }
+
+    fn lower_options(&self) -> LowerOptions {
+        self.options.clone()
+    }
 }
 
 struct SeqExecutable {

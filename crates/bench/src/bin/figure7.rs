@@ -12,9 +12,9 @@
 //! [`RunReport`]: snowflake_backends::RunReport
 
 use roofline::{measure_dot_bandwidth, Roofline, StencilKind};
-use snowflake_backends::RunReport;
+use snowflake_backends::{BackendOptions, RunReport};
 use snowflake_bench::{
-    arg_usize_or_exit, arg_value, figure_impls_or_exit, print_table, write_metrics_json,
+    arg_flag, arg_usize_or_exit, arg_value, figure_impls_or_exit, print_table, write_metrics_json,
     KernelBench, MetricsRow,
 };
 
@@ -24,6 +24,8 @@ fn main() {
     let reps = arg_usize_or_exit(&args, "--reps", 5);
     let stream_elems = arg_usize_or_exit(&args, "--stream-elems", 1 << 22);
     let metrics_path = arg_value(&args, "--metrics-json");
+    let verify = arg_flag(&args, "--verify");
+    let opts = BackendOptions::default().with_verify(verify);
 
     println!("Figure 7 — performance for {n}^3 (10^9 stencils/s)");
     let bw = measure_dot_bandwidth(stream_elems, 3);
@@ -40,7 +42,7 @@ fn main() {
     for kind in StencilKind::all() {
         let mut row = vec![kind.label().to_string()];
         for (label, backend) in &impls {
-            match KernelBench::build_named(kind, backend.as_deref(), n) {
+            match KernelBench::build_named_opts(kind, backend.as_deref(), n, &opts) {
                 Ok(mut kb) => {
                     let rate = kb.stencils_per_sec(reps);
                     row.push(format!("{:.3}", rate / 1e9));
@@ -56,6 +58,12 @@ fn main() {
                     }
                 }
                 Err(e) => {
+                    // An uncertified plan under --verify is a refusal, not
+                    // a skip.
+                    if verify && e.to_string().contains("verification failed") {
+                        eprintln!("error: {label} on {kind:?}: {e}");
+                        std::process::exit(1);
+                    }
                     // An unavailable implementation (e.g. cjit without a C
                     // compiler) is a skipped column, not a failed figure.
                     eprintln!("({label} on {kind:?} skipped: {e})");

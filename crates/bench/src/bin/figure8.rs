@@ -13,9 +13,9 @@
 //! [`RunReport`]: snowflake_backends::RunReport
 
 use roofline::{measure_dot_bandwidth, Roofline, StencilKind};
-use snowflake_backends::RunReport;
+use snowflake_backends::{BackendOptions, RunReport};
 use snowflake_bench::{
-    arg_usize_or_exit, arg_value, figure_impls_or_exit, print_table, write_metrics_json,
+    arg_flag, arg_usize_or_exit, arg_value, figure_impls_or_exit, print_table, write_metrics_json,
     KernelBench, MetricsRow,
 };
 
@@ -24,6 +24,8 @@ fn main() {
     let max = arg_usize_or_exit(&args, "--max-size", 128);
     let reps = arg_usize_or_exit(&args, "--reps", 5);
     let metrics_path = arg_value(&args, "--metrics-json");
+    let verify = arg_flag(&args, "--verify");
+    let opts = BackendOptions::default().with_verify(verify);
 
     let mut sizes = vec![32usize, 64, 128, 256];
     sizes.retain(|&s| s <= max);
@@ -43,7 +45,7 @@ fn main() {
     for &n in sizes.iter().rev() {
         let mut row = vec![format!("{n}^3")];
         for (label, backend) in &impls {
-            match KernelBench::build_named(StencilKind::VcGsrb, backend.as_deref(), n) {
+            match KernelBench::build_named_opts(StencilKind::VcGsrb, backend.as_deref(), n, &opts) {
                 Ok(mut kb) => {
                     let secs = kb.seconds_per_sweep(reps);
                     row.push(format!("{secs:.3e}"));
@@ -59,6 +61,12 @@ fn main() {
                     }
                 }
                 Err(e) => {
+                    // An uncertified plan under --verify is a refusal, not
+                    // a skip.
+                    if verify && e.to_string().contains("verification failed") {
+                        eprintln!("error: {label} at {n}^3: {e}");
+                        std::process::exit(1);
+                    }
                     eprintln!("({label} at {n}^3 skipped: {e})");
                     row.push("skipped".to_string());
                 }

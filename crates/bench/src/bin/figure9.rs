@@ -24,9 +24,9 @@
 use std::time::Instant;
 
 use hpgmg::{HandSolver, Problem, Smoother, SnowSolver, SolveOptions};
-use snowflake_backends::{backend_from_name, BackendOptions};
+use snowflake_backends::{backend_from_name, verify_plan, BackendOptions};
 use snowflake_bench::{
-    arg_usize_or_exit, arg_value, print_table, write_metrics_json, MetricsRow, Who,
+    arg_flag, arg_usize_or_exit, arg_value, print_table, write_metrics_json, MetricsRow, Who,
 };
 
 fn main() {
@@ -39,6 +39,7 @@ fn main() {
         _ => Smoother::GsRb,
     };
     let fmg = args.iter().any(|a| a == "--fcycle");
+    let verify = arg_flag(&args, "--verify");
     let metrics_path = arg_value(&args, "--metrics-json");
     let problem = Problem::poisson_vc(n);
     let dof = (n * n * n) as f64;
@@ -101,6 +102,31 @@ fn main() {
         };
         match SnowSolver::with_smoother(problem, backend, smoother) {
             Ok(mut solver) => {
+                // --verify: refuse to run an uncertified plan.
+                let verify_stats = if verify {
+                    match verify_plan(solver.plan()) {
+                        Ok(cert) => {
+                            let stats = cert.stats();
+                            println!(
+                                "({label} certified: {} stencils, {} accesses proved, \
+                                 {} phases)",
+                                stats.stencils_checked,
+                                stats.accesses_proved,
+                                stats.phases_certified
+                            );
+                            Some(stats)
+                        }
+                        Err(diags) => {
+                            eprintln!("error: {label} plan failed verification:");
+                            for d in &diags {
+                                eprintln!("  {d}");
+                            }
+                            std::process::exit(1);
+                        }
+                    }
+                } else {
+                    None
+                };
                 solver.solve(1).expect("warm-up");
                 if metrics_path.is_some() {
                     solver.enable_metrics();
@@ -118,11 +144,15 @@ fn main() {
                     format!("{}/{}", stats.disk_hits, stats.disk_misses),
                 ]);
                 if metrics_path.is_some() {
+                    let mut report = solver.take_metrics();
+                    if let (Some(r), Some(stats)) = (report.as_mut(), verify_stats) {
+                        r.verify = stats;
+                    }
                     metrics_rows.push(MetricsRow {
                         operator: "gmg-solve".to_string(),
                         implementation: label,
                         value: dof / dt / 1e6,
-                        report: solver.take_metrics(),
+                        report,
                     });
                 }
             }

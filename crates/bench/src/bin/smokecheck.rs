@@ -15,8 +15,15 @@
 //! Exits 0 with a "skipped" note when neither document has a cjit row
 //! (no C compiler in the environment), 1 on assertion failure, 2 on
 //! usage/parse errors — so CI can run it unconditionally.
+//!
+//! With `--verify`, additionally refuses (exit 1) unless every Snowflake
+//! row in both documents carries a `verify` certificate block proving the
+//! plan was statically checked: `stencils_checked > 0` and
+//! `witnesses == 0`. Pair with `figure9 --smoke --verify --metrics-json`
+//! so uncertified plans cannot slip through CI.
 
 use snowflake_backends::metrics::json;
+use snowflake_bench::arg_flag;
 
 /// The cjit row's report facts a check needs.
 struct CjitFacts {
@@ -59,12 +66,60 @@ fn cjit_facts(path: &str) -> Result<Option<CjitFacts>, String> {
     Ok(None)
 }
 
+/// Per-row `verify` certificate facts for the `--verify` assertions.
+struct VerifyFacts {
+    implementation: String,
+    stencils_checked: u64,
+    witnesses: u64,
+}
+
+/// Extract the `verify` block of every Snowflake row that has a report.
+/// A Snowflake row *without* a `verify` block is itself an error under
+/// `--verify`: the run was not certified.
+fn verify_facts(path: &str) -> Result<Vec<VerifyFacts>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let rows = doc
+        .get("rows")
+        .and_then(|r| r.as_array())
+        .ok_or_else(|| format!("{path}: no \"rows\" array"))?;
+    let mut facts = Vec::new();
+    for row in rows {
+        let Some(implementation) = row.get("impl").and_then(|v| v.as_str()) else {
+            continue;
+        };
+        if !implementation.starts_with("Snowflake/") {
+            continue; // the hand baseline is not a plan; nothing to certify
+        }
+        let Some(report) = row.get("report") else {
+            continue;
+        };
+        let verify = report
+            .get("verify")
+            .ok_or_else(|| format!("{path}: {implementation} report has no verify block"))?;
+        let field_u64 = |key: &str| {
+            verify
+                .get(key)
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| format!("{path}: {implementation} verify block missing {key}"))
+        };
+        facts.push(VerifyFacts {
+            implementation: implementation.to_string(),
+            stencils_checked: field_u64("stencils_checked")?,
+            witnesses: field_u64("witnesses")?,
+        });
+    }
+    Ok(facts)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let [first_path, second_path] = match args.get(1..3) {
-        Some([a, b]) => [a.clone(), b.clone()],
+    let check_verify = arg_flag(&args, "--verify");
+    let paths: Vec<&String> = args[1..].iter().filter(|a| !a.starts_with("--")).collect();
+    let [first_path, second_path] = match paths.as_slice() {
+        [a, b] => [(*a).clone(), (*b).clone()],
         _ => {
-            eprintln!("usage: smokecheck <first.json> <second.json>");
+            eprintln!("usage: smokecheck [--verify] <first.json> <second.json>");
             std::process::exit(2);
         }
     };
@@ -80,6 +135,41 @@ fn main() {
     };
 
     let mut failed = false;
+    if check_verify {
+        for path in [&first_path, &second_path] {
+            let facts = verify_facts(path).unwrap_or_else(|e| {
+                eprintln!("FAIL: {e}");
+                std::process::exit(1);
+            });
+            if facts.is_empty() {
+                eprintln!("FAIL: {path}: no certified Snowflake rows to check");
+                failed = true;
+            }
+            for f in &facts {
+                if f.stencils_checked == 0 {
+                    eprintln!(
+                        "FAIL: {path}: {} ran with an uncertified plan \
+                         (0 stencils checked)",
+                        f.implementation
+                    );
+                    failed = true;
+                }
+                if f.witnesses > 0 {
+                    eprintln!(
+                        "FAIL: {path}: {} certificate records {} witness(es)",
+                        f.implementation, f.witnesses
+                    );
+                    failed = true;
+                }
+            }
+            if !failed {
+                println!(
+                    "smokecheck: {path}: {} Snowflake row(s) certified",
+                    facts.len()
+                );
+            }
+        }
+    }
     if second.disk_hits == 0 {
         eprintln!(
             "FAIL: second run had no disk-cache hits \

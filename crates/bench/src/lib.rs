@@ -27,7 +27,8 @@ use hpgmg::stencils::{apply_op_group, gsrb_smooth_group, jacobi_group, Coeff, Na
 use roofline::StencilKind;
 use snowflake_backends::metrics::json;
 use snowflake_backends::{
-    backend_from_name, Backend, BackendOptions, CJitBackend, Executable, RunReport,
+    backend_from_name, diagnostics_to_error, verify_op, Backend, BackendOptions, CJitBackend,
+    Executable, RunReport, VerifyStats,
 };
 use snowflake_core::Result;
 use snowflake_grid::GridSet;
@@ -132,6 +133,11 @@ pub fn figure_impls_or_exit(args: &[String]) -> Vec<(String, Option<String>)> {
 pub struct KernelBench {
     /// Interior points updated per sweep (stencil applications).
     pub stencils_per_sweep: u64,
+    /// Static-verification counters, populated when the bench was built
+    /// with `--verify` (stamped into reports by
+    /// [`KernelBench::sweep_with_report`]). `None` for unverified builds
+    /// and for the hand baseline (no compiled plan to certify).
+    pub verify: Option<VerifyStats>,
     runner: KernelRunner,
 }
 
@@ -164,6 +170,20 @@ impl KernelBench {
     ///
     /// [`available_backends`]: snowflake_backends::available_backends
     pub fn build_named(kind: StencilKind, backend: Option<&str>, n: usize) -> Result<KernelBench> {
+        Self::build_named_opts(kind, backend, n, &BackendOptions::default())
+    }
+
+    /// As [`KernelBench::build_named`], threading explicit
+    /// [`BackendOptions`]. When `opts.verify` is set the operator group is
+    /// statically certified before compilation (and the backend itself is
+    /// a verifying wrapper): an uncertified plan is a build error carrying
+    /// the verifier's diagnostics, so `--verify` figures refuse to run it.
+    pub fn build_named_opts(
+        kind: StencilKind,
+        backend: Option<&str>,
+        n: usize,
+        opts: &BackendOptions,
+    ) -> Result<KernelBench> {
         let problem = match kind {
             StencilKind::VcGsrb => Problem::poisson_vc(n),
             _ => Problem::poisson_cc(n),
@@ -176,11 +196,12 @@ impl KernelBench {
                 lvl.rhs.fill_random(18, -1.0, 1.0);
                 Ok(KernelBench {
                     stencils_per_sweep,
+                    verify: None,
                     runner: KernelRunner::Hand { lvl, problem, kind },
                 })
             }
             Some(name) => {
-                let backend = backend_from_name(name, &BackendOptions::default())?;
+                let backend = backend_from_name(name, opts)?;
                 let names = Names::level(0);
                 let coeff = if problem.variable_coeff {
                     Coeff::Variable
@@ -211,9 +232,18 @@ impl KernelBench {
                 grids.insert(&names.beta_x, lvl.beta_x);
                 grids.insert(&names.beta_y, lvl.beta_y);
                 grids.insert(&names.beta_z, lvl.beta_z);
+                let verify = if opts.verify {
+                    match verify_op(&group, &grids.shapes(), &backend.lower_options()) {
+                        Ok(cert) => Some(cert.stats()),
+                        Err(diags) => return Err(diagnostics_to_error(&diags)),
+                    }
+                } else {
+                    None
+                };
                 let exe = backend.compile(&group, &grids.shapes())?;
                 Ok(KernelBench {
                     stencils_per_sweep,
+                    verify,
                     runner: KernelRunner::Snow { grids, exe },
                 })
             }
@@ -241,6 +271,9 @@ impl KernelBench {
                 exe.run_with_report(grids, report)
                     .expect("compiled kernel run");
             }
+        }
+        if let Some(v) = self.verify {
+            report.verify = v;
         }
     }
 
@@ -344,6 +377,11 @@ pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+/// Is a bare boolean flag (e.g. `--verify`) present?
+pub fn arg_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
 /// Parse a usize flag with default; a present-but-malformed value is a
 /// usage error, not a panic.
 pub fn arg_usize(
@@ -434,6 +472,23 @@ mod tests {
     }
 
     #[test]
+    fn verified_build_stamps_certificate_counters_into_reports() {
+        let opts = BackendOptions::default().with_verify(true);
+        let mut kb =
+            KernelBench::build_named_opts(StencilKind::VcGsrb, Some("seq"), 8, &opts).unwrap();
+        let stats = kb.verify.expect("verified build carries a certificate");
+        assert!(stats.stencils_checked > 0);
+        assert!(stats.accesses_proved > 0);
+        assert_eq!(stats.witnesses, 0);
+        let mut report = RunReport::new();
+        kb.sweep_with_report(&mut report);
+        assert_eq!(report.verify, stats);
+        // The hand baseline has no plan to certify.
+        let kb = KernelBench::build_named_opts(StencilKind::Cc7pt, None, 8, &opts).unwrap();
+        assert!(kb.verify.is_none());
+    }
+
+    #[test]
     fn rates_are_positive() {
         let mut kb = KernelBench::build(StencilKind::Cc7pt, Who::SnowOmp, 8).unwrap();
         assert!(kb.stencils_per_sec(2) > 0.0);
@@ -449,6 +504,8 @@ mod tests {
         assert_eq!(arg_usize(&args, "--size", 32), Ok(64));
         assert_eq!(arg_usize(&args, "--reps", 3), Ok(5));
         assert_eq!(arg_usize(&args, "--missing", 9), Ok(9));
+        assert!(arg_flag(&args, "--size"));
+        assert!(!arg_flag(&args, "--verify"));
     }
 
     #[test]

@@ -191,6 +191,8 @@ impl DomainUnion {
     /// interior exactly.
     pub fn multicolor(ndim: usize, k: usize) -> Vec<DomainUnion> {
         assert!(k >= 1, "need at least one color per dimension");
+        // ndim is a stencil rank (1-3 in practice); the cast cannot truncate.
+        #[allow(clippy::cast_possible_truncation)]
         let ncolors = k.pow(ndim as u32);
         let mut out = Vec::with_capacity(ncolors);
         for c in 0..ncolors {

@@ -122,6 +122,8 @@ pub fn box_filter(ndim: usize, width: usize) -> Result<WeightArray> {
     if width.is_multiple_of(2) {
         return Err(CoreError::EvenWeightExtent { extent: width });
     }
+    // ndim is a stencil rank (1-3 in practice); the cast cannot truncate.
+    #[allow(clippy::cast_possible_truncation)]
     let count: usize = width.pow(ndim as u32);
     let w = 1.0 / count as f64;
     WeightArray::from_flat(

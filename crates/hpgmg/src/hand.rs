@@ -485,6 +485,9 @@ pub fn interpolate(coarse: &LevelData, fine: &mut LevelData) {
 /// Cell-centered trilinear interpolation and correction (see the
 /// Snowflake builder `interpolate_linear_group` for the weight algebra).
 /// Fills the coarse ghosts first so boundary children read fresh values.
+// Ghost-padded index math: every ii/jj/kk and fi/fj/fk stays inside the
+// padded box by construction, so the usize casts are exact.
+#[allow(clippy::cast_possible_truncation)]
 pub fn interpolate_linear(coarse: &mut LevelData, fine: &mut LevelData) {
     apply_boundary(&mut coarse.x, coarse.n);
     let nc = coarse.n;

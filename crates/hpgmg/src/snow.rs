@@ -449,6 +449,13 @@ impl SnowSolver {
         self.plan.len()
     }
 
+    /// The compiled plan itself — what the static verifier
+    /// (`snowflake_backends::verify_plan`) certifies before `--verify`
+    /// runs are allowed to execute.
+    pub fn plan(&self) -> &SolverPlan {
+        &self.plan
+    }
+
     /// Seconds the one-time plan build spent compiling.
     pub fn plan_build_seconds(&self) -> f64 {
         self.plan.build_seconds()

@@ -80,6 +80,9 @@ impl<'a> ClassTable<'a> {
         let strides = row_major_strides(&shape);
         let key = (gi, map.scale.clone());
         let class = *self.lookup.entry(key).or_insert_with(|| {
+            // A group lowers to a handful of access classes; u32 cannot
+            // overflow before memory does.
+            #[allow(clippy::cast_possible_truncation)]
             let id = self.classes.len() as u32;
             self.classes.push(AccessClass {
                 grid: gi,
@@ -88,6 +91,9 @@ impl<'a> ClassTable<'a> {
             });
             id
         });
+        // Offsets are stencil radii and strides are row-major products of
+        // validated extents; both fit isize on every supported target.
+        #[allow(clippy::cast_possible_truncation)]
         let delta: isize = (0..map.ndim())
             .map(|d| map.offset[d] as isize * strides[d] as isize)
             .sum();
@@ -288,6 +294,8 @@ impl PolyForm {
     /// Build from structured terms, computing the flat tables.
     pub fn from_terms(bias: f64, terms: Vec<(f64, Vec<(u32, isize)>)>) -> Self {
         let flat_coeffs: Vec<f64> = terms.iter().map(|t| t.0).collect();
+        // A product term holds a few reads; u32 cannot truncate.
+        #[allow(clippy::cast_possible_truncation)]
         let flat_lens: Vec<u32> = terms.iter().map(|t| t.1.len() as u32).collect();
         let flat_reads: Vec<(u32, isize)> =
             terms.iter().flat_map(|t| t.1.iter().copied()).collect();
@@ -528,6 +536,8 @@ mod tests {
     }
 
     #[test]
+    // Fixed 4x8 test grids: every index product fits isize/usize.
+    #[allow(clippy::cast_possible_truncation)]
     fn eval_checked_matches_expr_eval() {
         let e = (Expr::read_at("x", &[0, 1]) - Expr::read_at("y", &[0, 0])) * 2.0 + 1.0;
         let (p, classes) = lower(&e);

@@ -20,6 +20,9 @@ pub struct AccessClass {
 
 impl AccessClass {
     /// Linear cursor value at iteration point `p`.
+    // Scaled points and row-major strides index validated allocations;
+    // the verifier proves the products fit the address space.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn cursor_at(&self, p: &[i64]) -> isize {
         (0..p.len())
             .map(|d| (self.scale[d] * p[d]) as isize * self.strides[d] as isize)
@@ -27,6 +30,7 @@ impl AccessClass {
     }
 
     /// Cursor increment when dimension `d` advances by `region_stride`.
+    #[allow(clippy::cast_possible_truncation)]
     pub fn step(&self, d: usize, region_stride: i64) -> isize {
         (self.scale[d] * region_stride) as isize * self.strides[d] as isize
     }

@@ -35,8 +35,11 @@ fn truncation_error(order: Order, n: usize, backend: &dyn Backend) -> f64 {
 
     let lap = grids.get("lap").unwrap();
     let mut err = 0.0f64;
-    for i in reach as usize..n - reach as usize {
-        for j in reach as usize..n - reach as usize {
+    // reach is a small positive stencil radius; the cast is exact.
+    #[allow(clippy::cast_possible_truncation)]
+    let r = reach as usize;
+    for i in r..n - r {
+        for j in r..n - r {
             let exact = -2.0 * PI * PI * u(i, j);
             err = err.max((lap.get(&[i, j]) - exact).abs());
         }

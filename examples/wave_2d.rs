@@ -85,6 +85,8 @@ fn main() {
         let mut line = String::new();
         for j in (1..N - 1).step_by((N - 2) / 40) {
             let v = u.get(&[i, j]).abs().min(0.999);
+            // v is clamped to [0, 0.999], so the cast lands in 0..=9.
+            #[allow(clippy::cast_possible_truncation)]
             line.push(shades[(v * 10.0) as usize]);
         }
         println!("  {line}");

@@ -13,6 +13,9 @@
 //!
 //! [criterion]: https://docs.rs/criterion
 
+// Vendored stand-in: hash/seed mixing truncates deliberately.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

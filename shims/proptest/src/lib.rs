@@ -16,6 +16,9 @@
 //!
 //! [proptest]: https://docs.rs/proptest
 
+// Vendored stand-in: hash/seed mixing truncates deliberately.
+#![allow(clippy::cast_possible_truncation)]
+
 use std::ops::Range;
 use std::sync::Arc;
 
