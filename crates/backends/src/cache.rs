@@ -126,6 +126,12 @@ impl CompileCache {
         stats.disk_misses = disk_misses;
         stats
     }
+
+    /// The wrapped backend's persisted tile auto-tuner counters (see
+    /// [`crate::Backend::tune_stats`]; zeros for non-tuning backends).
+    pub fn tune_stats(&self) -> crate::metrics::TuneStats {
+        self.backend.tune_stats()
+    }
 }
 
 /// Structural cache key: the debug rendering of the group plus the sorted

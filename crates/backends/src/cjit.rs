@@ -55,6 +55,10 @@ pub struct CJitBackend {
     pub cache_dir: Option<PathBuf>,
     /// Use the persistent artifact cache (on by default).
     pub disk_cache: bool,
+    /// Emit specialized closed-form value expressions plus `#pragma omp
+    /// simd` inner loops for kernels the specialization pass matched (see
+    /// `crate::specialize`); on by default, bitwise-neutral.
+    pub specialize: bool,
     /// Compiles served from the artifact cache (shared across clones).
     disk_hits: Arc<AtomicU64>,
     /// Compiles that invoked the C compiler (shared across clones).
@@ -66,9 +70,17 @@ impl Default for CJitBackend {
         CJitBackend {
             options: LowerOptions::default(),
             cc: std::env::var("SNOWFLAKE_CC").unwrap_or_else(|_| "cc".to_string()),
-            opt_flags: vec!["-O3".to_string(), "-march=native".to_string()],
+            // `-ffp-contract=off` pins the no-FMA evaluation the bitwise
+            // specialization contract assumes (gcc already disables
+            // contraction under `-std=c99`; clang does not).
+            opt_flags: vec![
+                "-O3".to_string(),
+                "-march=native".to_string(),
+                "-ffp-contract=off".to_string(),
+            ],
             cache_dir: None,
             disk_cache: true,
+            specialize: true,
             disk_hits: Arc::new(AtomicU64::new(0)),
             disk_misses: Arc::new(AtomicU64::new(0)),
         }
@@ -102,6 +114,12 @@ impl CJitBackend {
     /// Enable or disable the persistent artifact cache (builder style).
     pub fn with_disk_cache(mut self, on: bool) -> Self {
         self.disk_cache = on;
+        self
+    }
+
+    /// Enable or disable kernel specialization (builder style).
+    pub fn with_specialize(mut self, on: bool) -> Self {
+        self.specialize = on;
         self
     }
 
@@ -315,7 +333,10 @@ impl Backend for CJitBackend {
                 self.cc
             )));
         }
-        let lowered = lower_group(group, shapes, &self.options)?;
+        let mut lowered = lower_group(group, shapes, &self.options)?;
+        if self.specialize {
+            crate::specialize::specialize_lowered(&mut lowered);
+        }
         let source = emit_c(&lowered, "snowflake_run");
         let lib = self.build(&source)?;
         // SAFETY: the symbol exists in the generated translation unit with
@@ -362,6 +383,7 @@ impl Executable for CJitExecutable {
             }
         }
         report.kernels.points += self.points_per_run();
+        report.spec += crate::specialize::spec_stats_of(&self.lowered);
         report.finish_run(dt);
         Ok(())
     }

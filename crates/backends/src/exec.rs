@@ -91,7 +91,34 @@ pub unsafe fn run_kernel_region(kernel: &LoweredKernel, view: &GridPtrs<'_>, reg
         // iteration's write.)
         let unit =
             kernel.parallel_safe && out_step == 1 && inner_step[..ncls].iter().all(|&st| st == 1);
-        if let Some(lf) = &kernel.linear {
+        // Specialized kernels (closed-form record attached by the plan-time
+        // specialization pass) take the tight fused/strided executors;
+        // everything below remains the generic interpreter fallback.
+        if let Some(spec) = kernel.spec.as_ref().filter(|_| kernel.parallel_safe) {
+            if unit {
+                crate::specialize::run_row_spec_unit(
+                    spec,
+                    view,
+                    &cur,
+                    &class_grid,
+                    e_last,
+                    out_grid,
+                    out_idx,
+                );
+            } else {
+                crate::specialize::run_row_spec_strided(
+                    spec,
+                    view,
+                    &cur,
+                    &class_grid,
+                    &inner_step,
+                    e_last,
+                    out_grid,
+                    out_idx,
+                    out_step,
+                );
+            }
+        } else if let Some(lf) = &kernel.linear {
             if unit {
                 run_row_linear_unit(lf, view, &cur, &class_grid, e_last, out_grid, out_idx);
             } else {
@@ -227,7 +254,31 @@ pub unsafe fn run_fused_region(kernels: &[&LoweredKernel], view: &GridPtrs<'_>, 
             }
             let mut out_idx = cur[kernel.out_class as usize] + kernel.out_delta;
             let out_step = ctx.inner_step[kernel.out_class as usize];
-            if let Some(lf) = &kernel.linear {
+            if let Some(spec) = kernel.spec.as_ref().filter(|_| kernel.parallel_safe) {
+                if ctx.unit {
+                    crate::specialize::run_row_spec_unit(
+                        spec,
+                        view,
+                        &cur,
+                        &ctx.class_grid,
+                        e_last,
+                        kernel.out_grid,
+                        out_idx,
+                    );
+                } else {
+                    crate::specialize::run_row_spec_strided(
+                        spec,
+                        view,
+                        &cur,
+                        &ctx.class_grid,
+                        &ctx.inner_step,
+                        e_last,
+                        kernel.out_grid,
+                        out_idx,
+                        out_step,
+                    );
+                }
+            } else if let Some(lf) = &kernel.linear {
                 if ctx.unit {
                     run_row_linear_unit(
                         lf,

@@ -43,6 +43,8 @@ pub mod omp;
 pub mod plan;
 pub mod registry;
 pub mod seq;
+pub mod specialize;
+pub mod tune;
 pub mod verify;
 pub mod view;
 
@@ -54,12 +56,16 @@ pub use checked::CheckedBackend;
 pub use cjit::CJitBackend;
 pub use dist::DistBackend;
 pub use interp::InterpreterBackend;
-pub use metrics::{CacheStats, CommStats, KernelCounters, PhaseSample, RunReport, VerifyStats};
+pub use metrics::{
+    CacheStats, CommStats, KernelCounters, PhaseSample, RunReport, SpecStats, TuneStats,
+    VerifyStats,
+};
 pub use oclsim::OclSimBackend;
 pub use omp::OmpBackend;
 pub use plan::SolverPlan;
 pub use registry::{available_backends, backend_from_name, BackendOptions};
 pub use seq::SequentialBackend;
+pub use tune::TileTuner;
 pub use verify::{
     diagnostics_to_error, verify_op, verify_plan, witness_count, OpCertificate, PlanCertificate,
     VerifyingBackend,
@@ -110,6 +116,13 @@ pub trait Backend: Send + Sync {
     /// zeros via this default.
     fn disk_cache_stats(&self) -> (u64, u64) {
         (0, 0)
+    }
+
+    /// Counters of this backend's persisted tile auto-tuner (see
+    /// [`tune::TileTuner`]). Only the OpenMP-like backend tunes; everything
+    /// else reports zeros via this default.
+    fn tune_stats(&self) -> metrics::TuneStats {
+        metrics::TuneStats::default()
     }
 
     /// The lowering options this backend compiles with. The static

@@ -40,6 +40,37 @@ pub struct CacheStats {
     pub disk_misses: u64,
 }
 
+/// Plan-time specialization counters: per run, how many kernels executed
+/// through the closed-form specialized paths (see `crate::specialize`)
+/// versus the generic interpreter fallback.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SpecStats {
+    /// Kernel executions served by a specialized closed-form executor.
+    pub kernels_specialized: u64,
+    /// Kernel executions that fell back to the generic interpreter paths.
+    pub kernels_interpreted: u64,
+}
+
+impl std::ops::AddAssign for SpecStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.kernels_specialized += rhs.kernels_specialized;
+        self.kernels_interpreted += rhs.kernels_interpreted;
+    }
+}
+
+/// Tile auto-tuner counters (see `crate::tune`): how tile decisions for
+/// this plan were obtained.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TuneStats {
+    /// Tuning decisions served from the persistent on-disk tuner cache.
+    pub disk_hits: u64,
+    /// Tuning decisions that required timing candidates on a warm-up
+    /// region (then persisted).
+    pub disk_misses: u64,
+    /// Candidate tile shapes timed across all cache misses.
+    pub candidates_timed: u64,
+}
+
 /// Communication statistics of the distributed backend (halo exchange).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CommStats {
@@ -115,6 +146,10 @@ pub struct RunReport {
     pub comm: CommStats,
     /// Static-verification counters (zero unless the plan was verified).
     pub verify: VerifyStats,
+    /// Specialization counters (zero when the backend ran unspecialized).
+    pub spec: SpecStats,
+    /// Tile auto-tuner counters (zero unless tuning was requested).
+    pub tune: TuneStats,
 }
 
 impl RunReport {
@@ -190,6 +225,16 @@ impl RunReport {
             self.verify.accesses_proved,
             self.verify.phases_certified,
             self.verify.witnesses
+        );
+        let _ = write!(
+            s,
+            ",\"spec\":{{\"kernels_specialized\":{},\"kernels_interpreted\":{}}}",
+            self.spec.kernels_specialized, self.spec.kernels_interpreted
+        );
+        let _ = write!(
+            s,
+            ",\"tune\":{{\"disk_hits\":{},\"disk_misses\":{},\"candidates_timed\":{}}}",
+            self.tune.disk_hits, self.tune.disk_misses, self.tune.candidates_timed
         );
         s.push_str(",\"phases\":[");
         for (i, p) in self.phases.iter().enumerate() {
@@ -527,6 +572,15 @@ mod tests {
             phases_certified: 9,
             witnesses: 0,
         };
+        r.spec = SpecStats {
+            kernels_specialized: 6,
+            kernels_interpreted: 2,
+        };
+        r.tune = TuneStats {
+            disk_hits: 1,
+            disk_misses: 1,
+            candidates_timed: 5,
+        };
         r.compile_seconds = 0.125;
         r.finish_run(1.5);
         r
@@ -568,6 +622,13 @@ mod tests {
         assert_eq!(v.get("accesses_proved").unwrap().as_u64(), Some(96));
         assert_eq!(v.get("phases_certified").unwrap().as_u64(), Some(9));
         assert_eq!(v.get("witnesses").unwrap().as_u64(), Some(0));
+        let sp = doc.get("spec").unwrap();
+        assert_eq!(sp.get("kernels_specialized").unwrap().as_u64(), Some(6));
+        assert_eq!(sp.get("kernels_interpreted").unwrap().as_u64(), Some(2));
+        let t = doc.get("tune").unwrap();
+        assert_eq!(t.get("disk_hits").unwrap().as_u64(), Some(1));
+        assert_eq!(t.get("disk_misses").unwrap().as_u64(), Some(1));
+        assert_eq!(t.get("candidates_timed").unwrap().as_u64(), Some(5));
         let phases = doc.get("phases").unwrap().as_array().unwrap();
         assert_eq!(phases.len(), 2);
         assert_eq!(phases[0].get("index").unwrap().as_u64(), Some(0));

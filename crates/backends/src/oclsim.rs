@@ -40,12 +40,25 @@ impl Default for WorkGroupShape {
 }
 
 /// OpenCL execution-model simulator backend.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct OclSimBackend {
     /// Lowering options.
     pub options: LowerOptions,
     /// Work-group tile shape.
     pub workgroup: WorkGroupShape,
+    /// Attach closed-form specialization records at compile time (see
+    /// `crate::specialize`); on by default, bitwise-neutral.
+    pub specialize: bool,
+}
+
+impl Default for OclSimBackend {
+    fn default() -> Self {
+        OclSimBackend {
+            options: LowerOptions::default(),
+            workgroup: WorkGroupShape::default(),
+            specialize: true,
+        }
+    }
 }
 
 impl OclSimBackend {
@@ -57,6 +70,12 @@ impl OclSimBackend {
     /// Set the work-group tile shape.
     pub fn with_workgroup(mut self, tall: i64, wide: i64) -> Self {
         self.workgroup = WorkGroupShape { tall, wide };
+        self
+    }
+
+    /// Enable or disable kernel specialization (builder style).
+    pub fn with_specialize(mut self, on: bool) -> Self {
+        self.specialize = on;
         self
     }
 }
@@ -81,9 +100,12 @@ impl Backend for OclSimBackend {
     }
 
     fn compile(&self, group: &StencilGroup, shapes: &ShapeMap) -> Result<Box<dyn Executable>> {
-        let lowered = lower_group(group, shapes, &self.options)?;
+        let mut lowered = lower_group(group, shapes, &self.options)?;
         for k in &lowered.kernels {
             check_limits(k)?;
+        }
+        if self.specialize {
+            crate::specialize::specialize_lowered(&mut lowered);
         }
         let mut phases = Vec::with_capacity(lowered.phases.len());
         for phase in &lowered.phases {
@@ -174,6 +196,7 @@ impl Executable for OclExecutable {
         let t0 = std::time::Instant::now();
         self.run_impl(grids, Some(report))?;
         report.kernels.points += self.points_per_run();
+        report.spec += crate::specialize::spec_stats_of(&self.lowered);
         report.finish_run(t0.elapsed().as_secs_f64());
         Ok(())
     }

@@ -43,6 +43,14 @@ pub struct OmpOptions {
     /// traversal (§VII "mark stencils for fusion", executed). Defaults to
     /// on: same-phase kernels are mutually independent by construction.
     pub fuse: bool,
+    /// Attach closed-form specialization records at compile time (see
+    /// `crate::specialize`); on by default, bitwise-neutral.
+    pub specialize: bool,
+    /// Consult the persisted tile auto-tuner when no explicit tile is set:
+    /// time candidate tile shapes once per (program, shapes, threads) and
+    /// serve the winner from disk thereafter. Off by default (plan builds
+    /// stay deterministic-cost unless asked).
+    pub tune: bool,
 }
 
 impl Default for OmpOptions {
@@ -52,6 +60,8 @@ impl Default for OmpOptions {
             multicolor_reorder: true,
             parallel: true,
             fuse: true,
+            specialize: true,
+            tune: false,
         }
     }
 }
@@ -63,6 +73,8 @@ pub struct OmpBackend {
     pub options: LowerOptions,
     /// Scheduling options.
     pub omp: OmpOptions,
+    /// Persisted tile-decision cache (used only when `omp.tune`).
+    pub tuner: crate::tune::TileTuner,
 }
 
 impl OmpBackend {
@@ -96,6 +108,25 @@ impl OmpBackend {
         self
     }
 
+    /// Enable or disable kernel specialization (builder style).
+    pub fn with_specialize(mut self, on: bool) -> Self {
+        self.omp.specialize = on;
+        self
+    }
+
+    /// Enable or disable the persisted tile auto-tuner (builder style).
+    pub fn with_tune(mut self, on: bool) -> Self {
+        self.omp.tune = on;
+        self
+    }
+
+    /// Root the tuner's artifact cache at an explicit directory (builder
+    /// style); otherwise `$SNOWFLAKE_TUNE_DIR` and the default chain apply.
+    pub fn with_tune_dir(mut self, dir: std::path::PathBuf) -> Self {
+        self.tuner = crate::tune::TileTuner::new(Some(dir));
+        self
+    }
+
     /// Empirically select the best tile shape among `candidates` by timing
     /// `reps` runs of the compiled group per candidate (best wall time
     /// wins) — the paper's "method of tuning tiling sizes" realized as a
@@ -120,6 +151,7 @@ impl OmpBackend {
                     tile: Some(tile.clone()),
                     ..self.omp.clone()
                 },
+                tuner: self.tuner.clone(),
             };
             let exe = backend.compile(group, &shapes)?;
             exe.run(grids)?; // warm-up
@@ -136,6 +168,62 @@ impl OmpBackend {
         let (_, tile, exe) = best.expect("candidates non-empty");
         Ok((tile, exe))
     }
+
+    /// Resolve the tuned tile for `group` at these shapes: serve the
+    /// persisted decision when one exists, otherwise time candidates on
+    /// scratch grids, persist the winner, and return it. `None` when the
+    /// group has no parallel-safe kernel (nothing to tile).
+    fn tuned_tile(
+        &self,
+        group: &StencilGroup,
+        shapes: &ShapeMap,
+        lowered: &Lowered,
+        threads: usize,
+    ) -> Result<Option<Vec<i64>>> {
+        let Some(kernel) = lowered.kernels.iter().find(|k| k.parallel_safe) else {
+            return Ok(None);
+        };
+        let key = crate::tune::TileTuner::key(group, shapes, threads);
+        if let Some(tile) = self.tuner.lookup(key, threads) {
+            return Ok(Some(tile));
+        }
+        let candidates = tune_candidates(kernel.ndim, &kernel.regions, threads);
+        // Scratch grids at the real shapes: timing runs must never touch
+        // user data, and values are irrelevant to wall time.
+        let mut scratch = GridSet::new();
+        for (i, (name, shape)) in shapes.iter().enumerate() {
+            let mut g = snowflake_grid::Grid::new(shape);
+            g.fill_random(0x5eed + i as u64, 0.5, 1.5);
+            scratch.insert(name, g);
+        }
+        let (tile, _) = self.autotune_tile(group, &mut scratch, &candidates, 2)?;
+        self.tuner.store(key, threads, &tile, candidates.len());
+        Ok(Some(tile))
+    }
+}
+
+/// Candidate tile shapes for the auto-tuner: the default heuristic plus
+/// finer/coarser outer chunks and, in rank ≥ 2, a cache-blocked variant
+/// tiling the second dimension. Deduplicated; always non-empty.
+fn tune_candidates(ndim: usize, regions: &[Region], threads: usize) -> Vec<Vec<i64>> {
+    let base = default_tile(ndim, regions, threads);
+    let chunk = base[0];
+    let mut cands = vec![base.clone()];
+    for c in [(chunk / 2).max(1), chunk.saturating_mul(2), 1] {
+        let mut t = base.clone();
+        t[0] = c;
+        if !cands.contains(&t) {
+            cands.push(t);
+        }
+    }
+    if ndim >= 2 {
+        let mut t = base.clone();
+        t[1] = 64;
+        if !cands.contains(&t) {
+            cands.push(t);
+        }
+    }
+    cands
 }
 
 /// One schedulable unit: one or more fused kernels plus the sub-regions
@@ -162,12 +250,27 @@ impl Backend for OmpBackend {
         self.options.clone()
     }
 
+    fn tune_stats(&self) -> crate::metrics::TuneStats {
+        self.tuner.stats()
+    }
+
     fn compile(&self, group: &StencilGroup, shapes: &ShapeMap) -> Result<Box<dyn Executable>> {
-        let lowered = lower_group(group, shapes, &self.options)?;
+        let mut lowered = lower_group(group, shapes, &self.options)?;
         for k in &lowered.kernels {
             check_limits(k)?;
         }
+        if self.omp.specialize {
+            crate::specialize::specialize_lowered(&mut lowered);
+        }
         let threads = rayon::current_num_threads().max(1);
+        // Tuner consult only fills the gap left by an unset explicit tile;
+        // `autotune_tile`'s probe compiles carry `tile: Some(..)` and so
+        // never re-enter here.
+        let tile_choice = match &self.omp.tile {
+            Some(t) => Some(t.clone()),
+            None if self.omp.tune => self.tuned_tile(group, shapes, &lowered, threads)?,
+            None => None,
+        };
         let mut phases = Vec::with_capacity(lowered.phases.len());
         for phase in &lowered.phases {
             // Fusion groups: consecutive same-phase kernels with identical
@@ -200,7 +303,7 @@ impl Backend for OmpBackend {
                     });
                     continue;
                 }
-                let tile = match &self.omp.tile {
+                let tile = match &tile_choice {
                     Some(t) => fit_tile(t, kernel.ndim),
                     None => default_tile(kernel.ndim, &kernel.regions, threads),
                 };
@@ -376,6 +479,7 @@ impl Executable for OmpExecutable {
         let t0 = std::time::Instant::now();
         self.run_impl(grids, Some(report))?;
         report.kernels.points += self.points_per_run();
+        report.spec += crate::specialize::spec_stats_of(&self.lowered);
         report.finish_run(t0.elapsed().as_secs_f64());
         Ok(())
     }
@@ -678,6 +782,52 @@ mod tests {
             gs.get("y").unwrap().max_abs_diff(tuned.get("y").unwrap()),
             0.0
         );
+    }
+
+    #[test]
+    fn persisted_tuner_reuses_decision_and_preserves_results() {
+        let dir = std::env::temp_dir().join(format!("snowflake-omp-tune-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let group = vc_gsrb_group_2d();
+        let n = 18;
+        let mut a = mk_grids(n);
+        let mut b = mk_grids(n);
+        let shapes = a.shapes();
+        let cold = OmpBackend::new().with_tune(true).with_tune_dir(dir.clone());
+        cold.compile(&group, &shapes).unwrap().run(&mut a).unwrap();
+        let cs = cold.tune_stats();
+        assert_eq!(
+            (cs.disk_hits, cs.disk_misses),
+            (0, 1),
+            "cold: timed and stored"
+        );
+        assert!(cs.candidates_timed >= 2, "several candidates timed");
+        // A fresh backend (≅ a new process) over the same directory serves
+        // the decision from disk without re-timing.
+        let warm = OmpBackend::new().with_tune(true).with_tune_dir(dir.clone());
+        warm.compile(&group, &shapes).unwrap().run(&mut b).unwrap();
+        let ws = warm.tune_stats();
+        assert_eq!(
+            (ws.disk_hits, ws.disk_misses),
+            (1, 0),
+            "warm: served from disk"
+        );
+        // Tuned schedules compute bitwise-identical results to the default.
+        let mut c = mk_grids(n);
+        OmpBackend::new()
+            .compile(&group, &shapes)
+            .unwrap()
+            .run(&mut c)
+            .unwrap();
+        assert_eq!(
+            a.get("mesh").unwrap().max_abs_diff(b.get("mesh").unwrap()),
+            0.0
+        );
+        assert_eq!(
+            a.get("mesh").unwrap().max_abs_diff(c.get("mesh").unwrap()),
+            0.0
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -141,6 +141,7 @@ impl SolverPlan {
     pub fn stamp(&self, report: &mut RunReport) {
         report.plan_ops = self.ops.len() as u64;
         report.cache = self.cache_stats();
+        report.tune = self.cache.tune_stats();
         report.set_backend(self.backend_name());
     }
 }

@@ -62,6 +62,19 @@ pub struct BackendOptions {
     /// [`crate::verify::VerifyingBackend`], so `compile` fails with the
     /// verifier's diagnostics instead of running an uncertified plan.
     pub verify: bool,
+    /// Kernel specialization (see `crate::specialize`): `None` keeps each
+    /// backend's default (on for every stock compiled backend),
+    /// `Some(false)` forces the bytecode interpreter, `Some(true)` demands
+    /// specialization — which the `checked` sanitizer backend rejects with
+    /// [`CoreError::UnsupportedOption`], since its purpose is the
+    /// instrumented reference interpreter.
+    pub specialize: Option<bool>,
+    /// Consult the persisted tile auto-tuner at compile time (omp; only
+    /// effective when no explicit tile is set).
+    pub tune: bool,
+    /// Tuner artifact directory override (`None` = `$SNOWFLAKE_TUNE_DIR`
+    /// / default chain; see `crate::tune`).
+    pub tune_dir: Option<PathBuf>,
 }
 
 impl Default for BackendOptions {
@@ -79,6 +92,9 @@ impl Default for BackendOptions {
             cache_dir: None,
             disk_cache: true,
             verify: false,
+            specialize: None,
+            tune: false,
+            tune_dir: None,
         }
     }
 }
@@ -125,6 +141,25 @@ impl BackendOptions {
         self.verify = on;
         self
     }
+
+    /// Force kernel specialization on or off (builder style); the default
+    /// `None` keeps each backend's own default.
+    pub fn with_specialize(mut self, on: bool) -> Self {
+        self.specialize = Some(on);
+        self
+    }
+
+    /// Enable or disable the persisted tile auto-tuner (builder style).
+    pub fn with_tune(mut self, on: bool) -> Self {
+        self.tune = on;
+        self
+    }
+
+    /// Pin the tuner artifact directory (builder style).
+    pub fn with_tune_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.tune_dir = Some(dir.into());
+        self
+    }
 }
 
 /// Construct the backend registered under `name`, configured from `opts`.
@@ -143,10 +178,13 @@ pub fn backend_from_name(name: &str, opts: &BackendOptions) -> Result<Box<dyn Ba
 }
 
 fn build_backend(name: &str, opts: &BackendOptions) -> Result<Box<dyn Backend>> {
+    // Every stock compiled backend specializes by default; `Some` forces.
+    let specialize = opts.specialize.unwrap_or(true);
     match name {
         "interp" => Ok(Box::new(InterpreterBackend)),
         "seq" => Ok(Box::new(SequentialBackend {
             options: opts.lower.clone(),
+            specialize,
         })),
         "omp" => Ok(Box::new(OmpBackend {
             options: opts.lower.clone(),
@@ -155,14 +193,20 @@ fn build_backend(name: &str, opts: &BackendOptions) -> Result<Box<dyn Backend>> 
                 multicolor_reorder: opts.multicolor,
                 parallel: opts.parallel,
                 fuse: opts.fuse,
+                specialize,
+                tune: opts.tune,
             },
+            tuner: crate::tune::TileTuner::new(opts.tune_dir.clone()),
         })),
         "oclsim" => Ok(Box::new(OclSimBackend {
             options: opts.lower.clone(),
             workgroup: opts.workgroup,
+            specialize,
         })),
         "cjit" => {
-            let mut backend = CJitBackend::new().with_disk_cache(opts.disk_cache);
+            let mut backend = CJitBackend::new()
+                .with_disk_cache(opts.disk_cache)
+                .with_specialize(specialize);
             backend.options = opts.lower.clone();
             if let Some(cc) = &opts.cc {
                 backend = backend.with_cc(cc.clone());
@@ -178,11 +222,23 @@ fn build_backend(name: &str, opts: &BackendOptions) -> Result<Box<dyn Backend>> 
         "dist" => {
             let mut backend = DistBackend::new(opts.ranks.max(1));
             backend.options = opts.lower.clone();
+            backend.specialize = specialize;
             Ok(Box::new(backend))
         }
-        "checked" => Ok(Box::new(CheckedBackend {
-            options: opts.lower.clone(),
-        })),
+        "checked" => {
+            // The sanitizer's whole contract is the instrumented reference
+            // interpreter; demanding specialization is a contradiction the
+            // caller should hear about, not a knob to silently drop.
+            if opts.specialize == Some(true) {
+                return Err(CoreError::UnsupportedOption {
+                    backend: "checked".to_string(),
+                    option: "specialize=true".to_string(),
+                });
+            }
+            Ok(Box::new(CheckedBackend {
+                options: opts.lower.clone(),
+            }))
+        }
         _ => Err(CoreError::UnknownBackend {
             name: name.to_string(),
             available: NAMES.iter().map(|s| s.to_string()).collect(),
@@ -228,6 +284,68 @@ mod tests {
             }
             other => panic!("expected UnknownBackend, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn checked_backend_rejects_forced_specialization_with_typed_error() {
+        let opts = BackendOptions::default().with_specialize(true);
+        let Err(err) = backend_from_name("checked", &opts) else {
+            panic!("checked + specialize=true must be rejected");
+        };
+        match err {
+            CoreError::UnsupportedOption { backend, option } => {
+                assert_eq!(backend, "checked");
+                assert_eq!(option, "specialize=true");
+            }
+            other => panic!("expected UnsupportedOption, got {other:?}"),
+        }
+        // Explicitly *disabling* specialization is fine (it is the checked
+        // backend's only mode), as is leaving the knob unset.
+        assert!(
+            backend_from_name("checked", &BackendOptions::default().with_specialize(false)).is_ok()
+        );
+        assert!(backend_from_name("checked", &BackendOptions::default()).is_ok());
+        // Every other stock backend accepts both forced settings.
+        for &name in available_backends() {
+            if name == "checked" {
+                continue;
+            }
+            for on in [true, false] {
+                let opts = BackendOptions::default().with_specialize(on);
+                assert!(
+                    backend_from_name(name, &opts).is_ok(),
+                    "{name} specialize={on}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tune_knobs_reach_the_omp_backend() {
+        let dir =
+            std::env::temp_dir().join(format!("snowflake-registry-tune-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = BackendOptions::default()
+            .with_tune(true)
+            .with_tune_dir(dir.clone());
+        let omp = backend_from_name("omp", &opts).unwrap();
+        let group = snowflake_core::StencilGroup::from(snowflake_core::Stencil::new(
+            snowflake_core::Expr::read_at("x", &[0, 0]) * 2.0,
+            "y",
+            snowflake_core::RectDomain::interior(2),
+        ));
+        let mut shapes = snowflake_core::ShapeMap::new();
+        shapes.insert("x".into(), vec![12, 12]);
+        shapes.insert("y".into(), vec![12, 12]);
+        omp.compile(&group, &shapes).unwrap();
+        let stats = omp.tune_stats();
+        assert_eq!(stats.disk_misses, 1, "tuner engaged through registry knobs");
+        assert!(stats.candidates_timed >= 2);
+        assert!(
+            dir.read_dir().unwrap().count() >= 1,
+            "artifact persisted in the pinned directory"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

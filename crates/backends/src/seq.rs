@@ -15,10 +15,22 @@ use crate::view::GridPtrs;
 use crate::{check_and_ptrs, Backend, Executable};
 
 /// Single-threaded compiled backend.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct SequentialBackend {
     /// Lowering options (dead-stencil elimination etc.).
     pub options: LowerOptions,
+    /// Attach closed-form specialization records at compile time (see
+    /// `crate::specialize`); on by default, bitwise-neutral.
+    pub specialize: bool,
+}
+
+impl Default for SequentialBackend {
+    fn default() -> Self {
+        SequentialBackend {
+            options: LowerOptions::default(),
+            specialize: true,
+        }
+    }
 }
 
 impl SequentialBackend {
@@ -32,6 +44,12 @@ impl SequentialBackend {
         self.options = options;
         self
     }
+
+    /// Enable or disable kernel specialization (builder style).
+    pub fn with_specialize(mut self, on: bool) -> Self {
+        self.specialize = on;
+        self
+    }
 }
 
 impl Backend for SequentialBackend {
@@ -40,9 +58,12 @@ impl Backend for SequentialBackend {
     }
 
     fn compile(&self, group: &StencilGroup, shapes: &ShapeMap) -> Result<Box<dyn Executable>> {
-        let lowered = lower_group(group, shapes, &self.options)?;
+        let mut lowered = lower_group(group, shapes, &self.options)?;
         for k in &lowered.kernels {
             check_limits(k)?;
+        }
+        if self.specialize {
+            crate::specialize::specialize_lowered(&mut lowered);
         }
         Ok(Box::new(SeqExecutable { lowered }))
     }
@@ -99,6 +120,7 @@ impl Executable for SeqExecutable {
         let t0 = std::time::Instant::now();
         self.run_impl(grids, Some(report))?;
         report.kernels.points += self.points_per_run();
+        report.spec += crate::specialize::spec_stats_of(&self.lowered);
         report.finish_run(t0.elapsed().as_secs_f64());
         Ok(())
     }

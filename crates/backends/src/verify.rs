@@ -461,6 +461,10 @@ impl Backend for VerifyingBackend {
         self.inner.disk_cache_stats()
     }
 
+    fn tune_stats(&self) -> crate::metrics::TuneStats {
+        self.inner.tune_stats()
+    }
+
     fn lower_options(&self) -> LowerOptions {
         self.inner.lower_options()
     }

@@ -19,6 +19,12 @@
 //! [`RunReport`] profiles (schema in README.md), including `plan_ops` and
 //! the disk-cache hit/miss counters.
 //!
+//! `--no-specialize` disables the plan-time kernel specializer (every
+//! kernel runs on the generic interpreter paths); `--tune` enables the
+//! persisted tile auto-tuner on backends that support it (`omp`), whose
+//! cache directory is the `SNOWFLAKE_TUNE_DIR` chain. Both surface in the
+//! metrics JSON through each report's `spec` and `tune` objects.
+//!
 //! [`RunReport`]: snowflake_backends::RunReport
 
 use std::time::Instant;
@@ -41,6 +47,13 @@ fn main() {
     let fmg = args.iter().any(|a| a == "--fcycle");
     let verify = arg_flag(&args, "--verify");
     let metrics_path = arg_value(&args, "--metrics-json");
+    let mut backend_opts = BackendOptions::default();
+    if arg_flag(&args, "--no-specialize") {
+        backend_opts = backend_opts.with_specialize(false);
+    }
+    if arg_flag(&args, "--tune") {
+        backend_opts = backend_opts.with_tune(true);
+    }
     let problem = Problem::poisson_vc(n);
     let dof = (n * n * n) as f64;
     let opts = SolveOptions::cycles(cycles).with_fmg(fmg);
@@ -91,7 +104,7 @@ fn main() {
     // Snowflake on each backend, constructed through the registry.
     for name in &backend_names {
         let label = format!("Snowflake/{name}");
-        let backend = match backend_from_name(name, &BackendOptions::default()) {
+        let backend = match backend_from_name(name, &backend_opts) {
             Ok(b) => b,
             Err(e) => {
                 // An unknown --backend name is a usage error; unknown names

@@ -21,6 +21,15 @@
 //! plan was statically checked: `stencils_checked > 0` and
 //! `witnesses == 0`. Pair with `figure9 --smoke --verify --metrics-json`
 //! so uncertified plans cannot slip through CI.
+//!
+//! With `--tune`, the documents are instead two consecutive
+//! `figure9 --smoke --backend omp --tune` runs sharing one
+//! `SNOWFLAKE_TUNE_DIR`: the checks switch to the omp row's `tune` and
+//! `spec` blocks — the cold run must time candidates and persist
+//! decisions (`disk_misses > 0`), the warm run must be served entirely
+//! from the on-disk tuner cache (`disk_hits > 0`, `disk_misses == 0`),
+//! and both runs must keep the kernel specializer engaged on at least
+//! one smoother kernel (`spec.kernels_specialized > 0`).
 
 use snowflake_backends::metrics::json;
 use snowflake_bench::arg_flag;
@@ -64,6 +73,93 @@ fn cjit_facts(path: &str) -> Result<Option<CjitFacts>, String> {
         }));
     }
     Ok(None)
+}
+
+/// The omp row's specializer + tuner facts for the `--tune` assertions.
+struct TuneFacts {
+    kernels_specialized: u64,
+    tune_disk_hits: u64,
+    tune_disk_misses: u64,
+    candidates_timed: u64,
+}
+
+fn tune_facts(path: &str) -> Result<TuneFacts, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let rows = doc
+        .get("rows")
+        .and_then(|r| r.as_array())
+        .ok_or_else(|| format!("{path}: no \"rows\" array"))?;
+    for row in rows {
+        if row.get("impl").and_then(|v| v.as_str()) != Some("Snowflake/omp") {
+            continue;
+        }
+        let report = row
+            .get("report")
+            .ok_or_else(|| format!("{path}: omp row has no report"))?;
+        let block_u64 = |block: &str, key: &str| {
+            report
+                .get(block)
+                .and_then(|b| b.get(key))
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| format!("{path}: omp report missing {block}.{key}"))
+        };
+        return Ok(TuneFacts {
+            kernels_specialized: block_u64("spec", "kernels_specialized")?,
+            tune_disk_hits: block_u64("tune", "disk_hits")?,
+            tune_disk_misses: block_u64("tune", "disk_misses")?,
+            candidates_timed: block_u64("tune", "candidates_timed")?,
+        });
+    }
+    Err(format!("{path}: no Snowflake/omp row"))
+}
+
+/// The `--tune` check: cold run populates the tuner cache, warm run is
+/// served from it, the specializer stays engaged in both.
+fn check_tune(first_path: &str, second_path: &str) -> ! {
+    let load = |path: &str| {
+        tune_facts(path).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
+    };
+    let (first, second) = (load(first_path), load(second_path));
+    let mut failed = false;
+    if first.tune_disk_misses == 0 || first.candidates_timed == 0 {
+        eprintln!(
+            "FAIL: cold run did not tune (misses {}, candidates {})",
+            first.tune_disk_misses, first.candidates_timed
+        );
+        failed = true;
+    }
+    if second.tune_disk_hits == 0 || second.tune_disk_misses > 0 {
+        eprintln!(
+            "FAIL: warm run was not served from the tuner cache \
+             (hits {}, misses {})",
+            second.tune_disk_hits, second.tune_disk_misses
+        );
+        failed = true;
+    }
+    for (label, facts) in [("cold", &first), ("warm", &second)] {
+        if facts.kernels_specialized == 0 {
+            eprintln!("FAIL: {label} run has no specialized kernels");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "smokecheck: ok — cold (tune misses {}, {} candidates timed), \
+         warm (tune hits {}, misses {}), spec kernels {}/{}",
+        first.tune_disk_misses,
+        first.candidates_timed,
+        second.tune_disk_hits,
+        second.tune_disk_misses,
+        first.kernels_specialized,
+        second.kernels_specialized
+    );
+    std::process::exit(0);
 }
 
 /// Per-row `verify` certificate facts for the `--verify` assertions.
@@ -115,14 +211,18 @@ fn verify_facts(path: &str) -> Result<Vec<VerifyFacts>, String> {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let check_verify = arg_flag(&args, "--verify");
+    let tune_mode = arg_flag(&args, "--tune");
     let paths: Vec<&String> = args[1..].iter().filter(|a| !a.starts_with("--")).collect();
     let [first_path, second_path] = match paths.as_slice() {
         [a, b] => [(*a).clone(), (*b).clone()],
         _ => {
-            eprintln!("usage: smokecheck [--verify] <first.json> <second.json>");
+            eprintln!("usage: smokecheck [--verify|--tune] <first.json> <second.json>");
             std::process::exit(2);
         }
     };
+    if tune_mode {
+        check_tune(&first_path, &second_path);
+    }
     let load = |path: &str| {
         cjit_facts(path).unwrap_or_else(|e| {
             eprintln!("error: {e}");

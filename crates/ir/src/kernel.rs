@@ -58,6 +58,10 @@ pub struct LoweredKernel {
     /// polynomial in its reads but not linear (variable-coefficient
     /// operators). `None` when `linear` is set or expansion blows up.
     pub poly: Option<crate::bytecode::PolyForm>,
+    /// Closed-form specialization record, attached by the backend
+    /// specialization pass when the kernel matched and the backend enables
+    /// specialization. `None` straight out of lowering.
+    pub spec: Option<crate::spec::SpecKernel>,
     /// Resolved iteration regions (one per member of the domain union).
     pub regions: Vec<Region>,
     /// May iterations run concurrently (Diophantine verdict)?

@@ -20,13 +20,18 @@
 //! * [`tile`] — region tiling and region∩box intersection, the substrate
 //!   for the OpenMP backend's arbitrary-dimension blocking and multicolor
 //!   reordering and the OpenCL backend's tall-skinny blocking.
+//! * [`spec`] — closed-form specialization records (structure-of-arrays
+//!   re-layouts of the linear/poly fast paths) attached to kernels by the
+//!   backend specialization pass.
 
 pub mod bytecode;
 pub mod kernel;
 pub mod lower;
+pub mod spec;
 pub mod tile;
 
 pub use bytecode::{Op, Program};
 pub use kernel::{AccessClass, LoweredKernel};
 pub use lower::{lower_group, LowerOptions, Lowered};
+pub use spec::{SpecForm, SpecKernel, SpecLinear, SpecPoly};
 pub use tile::{intersect_box, tile_region};

@@ -127,6 +127,7 @@ pub fn lower_group(
             program,
             linear,
             poly,
+            spec: None,
             regions: rs.regions.clone(),
             parallel_safe,
             out_grid: gi(&out_grid_name).expect("output grid interned"),

@@ -1,0 +1,182 @@
+//! Closed-form kernel specializations.
+//!
+//! The specialization pass (driven from the backends crate) pattern-matches
+//! a lowered kernel's arithmetic into one of two closed forms and records
+//! it here in structure-of-arrays layout, so executors can run tight
+//! unit-stride inner loops over parallel coefficient/offset tables instead
+//! of walking the `(class, delta, coeff)` tuple vectors of the generic
+//! [`LinearForm`]/[`PolyForm`] fast paths — the layout LLVM's
+//! auto-vectorizer wants.
+//!
+//! **Bitwise contract**: a [`SpecKernel`] is a *re-layout*, never a
+//! re-association. Builders preserve term order and per-term read order
+//! exactly, so evaluating a specialized kernel performs the identical
+//! floating-point operation sequence per element as the generic forms
+//! (`acc = bias; acc += coeff·read` in term order for linear;
+//! `prod = coeff; prod *= read…; acc += prod` for poly). Executors and the
+//! C code generator both rely on this to keep specialized results bitwise
+//! equal to the interpreter baseline.
+//!
+//! [`LinearForm`]: crate::bytecode::LinearForm
+//! [`PolyForm`]: crate::bytecode::PolyForm
+
+use crate::bytecode::{LinearForm, PolyForm};
+
+/// A constant-coefficient linear stencil,
+/// `bias + Σ_t coeffs[t] · grid[cursor[classes[t]] + deltas[t]]`,
+/// with each per-term table stored contiguously.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpecLinear {
+    /// Constant bias (the accumulator's initial value).
+    pub bias: f64,
+    /// Cursor class per term.
+    pub classes: Vec<u32>,
+    /// Precomputed flat element offset per term.
+    pub deltas: Vec<isize>,
+    /// Coefficient per term.
+    pub coeffs: Vec<f64>,
+}
+
+impl SpecLinear {
+    /// Re-layout a [`LinearForm`], preserving term order.
+    pub fn from_form(lf: &LinearForm) -> SpecLinear {
+        SpecLinear {
+            bias: lf.bias,
+            classes: lf.terms.iter().map(|t| t.0).collect(),
+            deltas: lf.terms.iter().map(|t| t.1).collect(),
+            coeffs: lf.terms.iter().map(|t| t.2).collect(),
+        }
+    }
+
+    /// Number of terms.
+    pub fn arity(&self) -> usize {
+        self.coeffs.len()
+    }
+}
+
+/// A sum-of-products (variable-coefficient) stencil,
+/// `bias + Σ_t coeffs[t] · Π_r grid[cursor[read_classes[r]] + read_deltas[r]]`,
+/// reads stored term-major and split into parallel class/delta tables.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpecPoly {
+    /// Constant bias (the accumulator's initial value).
+    pub bias: f64,
+    /// Coefficient per term.
+    pub coeffs: Vec<f64>,
+    /// Reads per term, parallel to `coeffs`.
+    pub lens: Vec<u32>,
+    /// Cursor class per read, term-major.
+    pub read_classes: Vec<u32>,
+    /// Flat element offset per read, term-major.
+    pub read_deltas: Vec<isize>,
+}
+
+impl SpecPoly {
+    /// Re-layout a [`PolyForm`], preserving term and read order.
+    pub fn from_form(pf: &PolyForm) -> SpecPoly {
+        SpecPoly {
+            bias: pf.bias,
+            coeffs: pf.flat_coeffs.clone(),
+            lens: pf.flat_lens.clone(),
+            read_classes: pf.flat_reads.iter().map(|r| r.0).collect(),
+            read_deltas: pf.flat_reads.iter().map(|r| r.1).collect(),
+        }
+    }
+
+    /// Total reads across all terms.
+    pub fn num_reads(&self) -> usize {
+        self.read_classes.len()
+    }
+}
+
+/// The matched closed form.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpecForm {
+    /// Constant-coefficient linear combination of reads.
+    Linear(SpecLinear),
+    /// Bounded sum of products of reads.
+    Poly(SpecPoly),
+}
+
+/// A kernel's specialization record, attached to
+/// [`LoweredKernel::spec`](crate::kernel::LoweredKernel::spec) by the
+/// backend specialization pass when (and only when) the kernel matched a
+/// closed form and the owning backend enables specialization.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpecKernel {
+    /// The matched form.
+    pub form: SpecForm,
+}
+
+impl SpecKernel {
+    /// Build from a kernel's generic fast-path forms; `None` when the
+    /// kernel only has bytecode (and must stay on the interpreter).
+    pub fn from_forms(linear: Option<&LinearForm>, poly: Option<&PolyForm>) -> Option<SpecKernel> {
+        if let Some(lf) = linear {
+            Some(SpecKernel {
+                form: SpecForm::Linear(SpecLinear::from_form(lf)),
+            })
+        } else {
+            poly.map(|pf| SpecKernel {
+                form: SpecForm::Poly(SpecPoly::from_form(pf)),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::PolyForm;
+
+    #[test]
+    fn linear_relayout_preserves_term_order() {
+        let lf = LinearForm {
+            terms: vec![(0, 1, 2.0), (0, -1, 2.0), (1, 0, -4.0)],
+            bias: 1.5,
+        };
+        let sl = SpecLinear::from_form(&lf);
+        assert_eq!(sl.bias, 1.5);
+        assert_eq!(sl.arity(), 3);
+        assert_eq!(sl.classes, vec![0, 0, 1]);
+        assert_eq!(sl.deltas, vec![1, -1, 0]);
+        assert_eq!(sl.coeffs, vec![2.0, 2.0, -4.0]);
+    }
+
+    #[test]
+    fn poly_relayout_preserves_term_major_reads() {
+        let pf = PolyForm::from_terms(
+            0.25,
+            vec![
+                (3.0, vec![(0, 0), (1, 8)]),
+                (-1.0, vec![(2, -1)]),
+                (0.5, vec![(0, 1), (1, 0), (2, 0)]),
+            ],
+        );
+        let sp = SpecPoly::from_form(&pf);
+        assert_eq!(sp.bias, 0.25);
+        assert_eq!(sp.coeffs, vec![3.0, -1.0, 0.5]);
+        assert_eq!(sp.lens, vec![2, 1, 3]);
+        assert_eq!(sp.read_classes, vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(sp.read_deltas, vec![0, 8, -1, 1, 0, 0]);
+        assert_eq!(sp.num_reads(), 6);
+    }
+
+    #[test]
+    fn from_forms_prefers_linear_and_handles_bytecode_only() {
+        let lf = LinearForm {
+            terms: vec![(0, 0, 1.0)],
+            bias: 0.0,
+        };
+        let pf = PolyForm::from_terms(0.0, vec![(1.0, vec![(0, 0)])]);
+        assert!(matches!(
+            SpecKernel::from_forms(Some(&lf), None).unwrap().form,
+            SpecForm::Linear(_)
+        ));
+        assert!(matches!(
+            SpecKernel::from_forms(None, Some(&pf)).unwrap().form,
+            SpecForm::Poly(_)
+        ));
+        assert!(SpecKernel::from_forms(None, None).is_none());
+    }
+}

@@ -26,10 +26,13 @@ pub fn tile_region(region: &Region, tile: &[i64]) -> Vec<Region> {
     }
     let mut tiles = vec![region.clone()];
     for d in 0..region.ndim() {
-        tiles = tiles
-            .into_iter()
-            .flat_map(|r| r.split_dim(d, tile[d]))
-            .collect();
+        // Clamp tile extents that exceed the region's own extent: tiles
+        // are sized for the bulk iteration space, and applying them
+        // unclamped to a narrow boundary face (extent 1 in some
+        // dimension) must degenerate to "whole face", never to a storm
+        // of singleton tiles.
+        let t = tile[d].min(region.extent(d)).max(1);
+        tiles = tiles.into_iter().flat_map(|r| r.split_dim(d, t)).collect();
     }
     tiles
 }
@@ -92,6 +95,28 @@ mod tests {
         let tiles = tile_region(&reg, &[100, 100]);
         assert_eq!(tiles.len(), 1);
         assert_eq!(tiles[0], reg);
+    }
+
+    #[test]
+    fn one_wide_boundary_region_is_not_shattered() {
+        // A boundary face of a 64^2 grid: extent 1 in dim 0. A bulk tile
+        // shape (oversized for the face in dim 0) must clamp, producing
+        // whole-face-row tiles rather than per-point singletons.
+        let face = r(&[0, 0], &[1, 64], &[1, 1]);
+        let tiles = tile_region(&face, &[16, 16]);
+        assert_eq!(tiles.len(), 4, "64-wide face / 16-wide tiles");
+        let mut seen = HashSet::new();
+        for t in &tiles {
+            assert_eq!(t.extent(0), 1);
+            for p in t.points() {
+                assert!(seen.insert(p));
+            }
+        }
+        assert_eq!(seen.len() as u64, face.num_points());
+        // Fully-oversized tile on the degenerate dim alone: identity.
+        let tiles = tile_region(&face, &[1 << 40, 1 << 40]);
+        assert_eq!(tiles.len(), 1);
+        assert_eq!(tiles[0], face);
     }
 
     #[test]

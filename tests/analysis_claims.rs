@@ -134,12 +134,10 @@ fn dead_stencil_elimination_through_lowering() {
         .unwrap()
         .run(&mut full)
         .unwrap();
-    let be = SequentialBackend {
-        options: LowerOptions {
-            live_outputs: Some(vec!["z".to_string()]),
-            ..Default::default()
-        },
-    };
+    let be = SequentialBackend::new().with_options(LowerOptions {
+        live_outputs: Some(vec!["z".to_string()]),
+        ..Default::default()
+    });
     be.compile(&group, &dce.shapes())
         .unwrap()
         .run(&mut dce)

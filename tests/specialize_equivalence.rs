@@ -1,0 +1,178 @@
+//! Specialization equivalence (PR 4 tentpole): the plan-time kernel
+//! specializer is a pure re-layout of the lowered bytecode — same reads,
+//! same multiplies, same left-to-right accumulation — so disabling it must
+//! not change a single bit of any result. These tests pin that contract on
+//! the full HPGMG V-cycle plan and on randomized const-coefficient
+//! stencils, and check that `verify_plan` still certifies specialized
+//! plans (specialization runs after lowering, which is what the verifier
+//! replays).
+
+use proptest::prelude::*;
+use snowflake::backends::{verify_plan, CJitBackend};
+use snowflake::hpgmg::{Problem, SnowSolver};
+use snowflake::prelude::*;
+
+/// A (specialize-on, specialize-off) backend pair under comparison.
+type OnOff = (Box<dyn Backend>, Box<dyn Backend>);
+
+/// Solve `cycles` V-cycles with metrics on; return the residual history
+/// and the instrumented run report.
+fn solve_with_metrics(
+    problem: Problem,
+    backend: Box<dyn Backend>,
+    cycles: usize,
+) -> (Vec<f64>, RunReport) {
+    let mut solver = SnowSolver::new(problem, backend).expect("plan build");
+    solver.enable_metrics();
+    let norms = solver.solve(cycles).expect("solve");
+    let report = solver.take_metrics().expect("metrics enabled");
+    (norms, report)
+}
+
+/// The headline equivalence: a full multi-level V-cycle solve — smoothers,
+/// residuals, boundary fills, inter-grid transfers — produces the exact
+/// same residual history whether the kernels run through the specialized
+/// closed forms or the bytecode interpreter.
+#[test]
+fn hpgmg_vcycle_is_bitwise_identical_with_specialization_off() {
+    let problem = Problem::poisson_vc(8);
+    let pairs: Vec<(&str, OnOff)> = vec![
+        (
+            "seq",
+            (
+                Box::new(SequentialBackend::new()),
+                Box::new(SequentialBackend::new().with_specialize(false)),
+            ),
+        ),
+        (
+            "omp",
+            (
+                Box::new(OmpBackend::new()),
+                Box::new(OmpBackend::new().with_specialize(false)),
+            ),
+        ),
+    ];
+    for (name, (spec_on, spec_off)) in pairs {
+        let (norms_on, report_on) = solve_with_metrics(problem, spec_on, 3);
+        let (norms_off, report_off) = solve_with_metrics(problem, spec_off, 3);
+        assert_eq!(
+            norms_on, norms_off,
+            "{name}: residual histories must be bitwise identical"
+        );
+        assert!(
+            report_on.spec.kernels_specialized > 0,
+            "{name}: the V-cycle must engage the specializer (smoothers and \
+             transfers are const-coefficient)"
+        );
+        assert_eq!(
+            report_off.spec.kernels_specialized, 0,
+            "{name}: with_specialize(false) must reach every kernel"
+        );
+        assert!(report_off.spec.kernels_interpreted > 0, "{name}");
+    }
+}
+
+/// The C micro-compiler with specialization: specialized kernels render
+/// the same left fold the Rust executors perform, so the specialized cjit
+/// V-cycle must track the specialized seq V-cycle to machine precision.
+/// (Unspecialized cjit renders the raw bytecode tree, whose association
+/// differs from the distributed linear form — the reason the pre-existing
+/// bitwise cross-backend test excludes cjit — so spec-on vs spec-off is
+/// held to the same relative tolerance as the rest of the cjit suite.)
+/// Gated on a working host C compiler.
+#[test]
+fn hpgmg_vcycle_cjit_specialized_matches_unspecialized() {
+    if !CJitBackend::available() {
+        eprintln!("skipping: no host C compiler for cjit");
+        return;
+    }
+    let problem = Problem::poisson_vc(8);
+    let (norms_on, report_on) = solve_with_metrics(problem, Box::new(CJitBackend::new()), 2);
+    let (norms_off, _) = solve_with_metrics(
+        problem,
+        Box::new(CJitBackend::new().with_specialize(false)),
+        2,
+    );
+    let (norms_seq, _) = solve_with_metrics(problem, Box::new(SequentialBackend::new()), 2);
+    assert!(report_on.spec.kernels_specialized > 0);
+    for (a, b) in norms_on.iter().zip(&norms_off) {
+        assert!(
+            ((a - b) / a.abs().max(1e-300)).abs() < 1e-7,
+            "cjit spec on/off diverge beyond roundoff: {a} vs {b}"
+        );
+    }
+    for (a, b) in norms_on.iter().zip(&norms_seq) {
+        assert!(
+            ((a - b) / a.abs().max(1e-300)).abs() < 1e-12,
+            "specialized cjit vs seq: {a} vs {b}"
+        );
+    }
+}
+
+/// §VI's `--verify` flag still certifies every op of a specialized plan:
+/// specialization happens after lowering, and the verifier replays the
+/// lowering, so a plan built over a specializing backend certifies exactly
+/// as before — while its execution demonstrably uses the closed forms.
+#[test]
+fn verify_certifies_specialized_hpgmg_plan() {
+    let mut solver = SnowSolver::new(Problem::poisson_vc(8), Box::new(SequentialBackend::new()))
+        .expect("plan build");
+    let cert = verify_plan(solver.plan())
+        .unwrap_or_else(|diags| panic!("specialized plan must certify: {diags:?}"));
+    let stats = cert.stats();
+    assert!(stats.stencils_checked > 0);
+    assert!(stats.accesses_proved > 0);
+    // And the certified plan really executes specialized kernels.
+    solver.enable_metrics();
+    solver.solve(1).expect("solve");
+    let report = solver.take_metrics().unwrap();
+    assert!(report.spec.kernels_specialized > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    /// Randomized const-coefficient stencils — the specializer's prime
+    /// target (SpecLinear) — are bitwise identical with the pass on and
+    /// off, across the interpreter-replacing backends.
+    #[test]
+    fn random_const_coefficient_stencils_specialize_bitwise(
+        seed in 0u64..1_000,
+        offs in proptest::collection::vec((-2i64..3, -2i64..3, -1.0f64..1.0), 1..7),
+        bias in -1.0f64..1.0,
+    ) {
+        let mut expr = Expr::Const(bias);
+        for (oi, oj, w) in &offs {
+            expr = expr + Expr::Const(*w) * Expr::read_at("x", &[*oi, *oj]);
+        }
+        // Offsets reach ±2, so the domain needs a 2-cell margin.
+        let dom = RectDomain::new(&[2, 2], &[-2, -2], &[1, 1]);
+        let group = StencilGroup::from(Stencil::new(expr, "y", dom));
+        let make = || {
+            let mut gs = GridSet::new();
+            let mut x = Grid::new(&[13, 14]);
+            x.fill_random(seed, -2.0, 2.0);
+            gs.insert("x", x);
+            gs.insert("y", Grid::new(&[13, 14]));
+            gs
+        };
+        let shapes = make().shapes();
+        let pairs: Vec<OnOff> = vec![
+            (
+                Box::new(SequentialBackend::new()),
+                Box::new(SequentialBackend::new().with_specialize(false)),
+            ),
+            (
+                Box::new(OmpBackend::new()),
+                Box::new(OmpBackend::new().with_specialize(false)),
+            ),
+        ];
+        for (on, off) in pairs {
+            let mut a = make();
+            on.compile(&group, &shapes).unwrap().run(&mut a).unwrap();
+            let mut b = make();
+            off.compile(&group, &shapes).unwrap().run(&mut b).unwrap();
+            let diff = a.get("y").unwrap().max_abs_diff(b.get("y").unwrap());
+            prop_assert_eq!(diff, 0.0, "{} spec on/off deviates", on.name());
+        }
+    }
+}
