@@ -28,10 +28,16 @@
 //! * [`verify`] — the certification layer: the same questions re-asked
 //!   with typed [`Diagnostic`]s, release-mode rank checking, and concrete
 //!   witness cells constructed from the Diophantine solutions.
+//! * [`lint`] — the semantic layer above both: liveness dataflow,
+//!   domain-coverage proofs, halo sufficiency and weight sanity, each
+//!   finding reported as a typed [`Lint`] with a witness cell.
+//!
+//! [`Lint`]: lint::Lint
 
 pub mod conflict;
 pub mod deps;
 pub mod dio;
+pub mod lint;
 pub mod math;
 pub mod report;
 pub mod schedule;
@@ -39,7 +45,11 @@ pub mod verify;
 
 pub use conflict::{access_conflict, regions_overlap, self_conflict};
 pub use deps::{depends, is_parallel_safe, writes_disjoint, DepKind, ResolvedStencil};
-pub use report::report;
+pub use lint::{
+    apply_policy, check_coverage, lint_group, lint_program, Coverage, Lint, LintConfig, LintReport,
+    LintRule, PolicyOutcome, Severity,
+};
+pub use report::{report, report_group};
 pub use schedule::{
     dead_stencils, dependence_dag, fusible_pairs, greedy_phases, reorder_minimize_barriers,
     Schedule,

@@ -10,8 +10,12 @@
 
 use std::fmt::Write as _;
 
+use snowflake_core::{Result, ShapeMap, StencilGroup};
+
 use crate::deps::{is_parallel_safe, ResolvedStencil};
+use crate::lint::{lint_group, LintConfig};
 use crate::schedule::{dependence_dag, fusible_pairs, greedy_phases};
+use crate::verify::verify_bounds;
 use crate::DepKind;
 
 /// Render the complete analysis verdict for a resolved group.
@@ -78,6 +82,53 @@ pub fn report(stencils: &[ResolvedStencil]) -> String {
     out
 }
 
+/// As [`report`], starting from the unresolved group: renders the
+/// dependence verdict plus the *verification* and *semantic lint*
+/// sections — how many accesses the bounds prover certified (with any
+/// diagnostics), and what the lint pipeline concluded (rules run,
+/// findings or "none"). This is the full "what does the analysis engine
+/// think of this program" dump.
+pub fn report_group(group: &StencilGroup, shapes: &ShapeMap) -> Result<String> {
+    let stencils: Vec<ResolvedStencil> = group
+        .stencils()
+        .iter()
+        .map(|s| ResolvedStencil::resolve(s, shapes))
+        .collect::<Result<_>>()?;
+    let mut out = report(&stencils);
+
+    let (mut proved, mut diags) = (0u64, Vec::new());
+    for rs in &stencils {
+        match verify_bounds(rs, shapes) {
+            Ok(n) => proved += n,
+            Err(ds) => diags.extend(ds),
+        }
+    }
+    let _ = writeln!(
+        out,
+        "verification: {proved} accesses proved in bounds, {} diagnostic(s)",
+        diags.len()
+    );
+    for d in &diags {
+        let _ = writeln!(out, "  {d}");
+    }
+
+    let lint = lint_group(group, shapes, &LintConfig::default())?;
+    if lint.lints.is_empty() {
+        let _ = writeln!(out, "lints: {} rules run, none fired", lint.rules_run);
+    } else {
+        let _ = writeln!(
+            out,
+            "lints: {} rules run, {} finding(s)",
+            lint.rules_run,
+            lint.lints.len()
+        );
+        for l in &lint.lints {
+            let _ = writeln!(out, "  {l}");
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,6 +159,36 @@ mod tests {
         assert!(text.contains("phase 0"));
         // copy_y and copy_z share the interior region and a phase.
         assert!(text.contains("copy_y + copy_z"), "{text}");
+    }
+
+    #[test]
+    fn report_group_appends_verify_and_lint_sections() {
+        let mut shapes = ShapeMap::new();
+        shapes.insert("x".into(), vec![10, 10]);
+        shapes.insert("y".into(), vec![10, 10]);
+        let lap = Expr::read_at("x", &[-1, 0])
+            + Expr::read_at("x", &[1, 0])
+            + Expr::read_at("x", &[0, -1])
+            + Expr::read_at("x", &[0, 1])
+            - 4.0 * Expr::read_at("x", &[0, 0]);
+        let group =
+            StencilGroup::from(Stencil::new(lap, "y", RectDomain::interior(2)).named("laplacian"));
+        let text = report_group(&group, &shapes).unwrap();
+        assert!(text.contains("=== Snowflake dependence analysis ==="));
+        assert!(
+            text.contains("accesses proved in bounds, 0 diagnostic(s)"),
+            "{text}"
+        );
+        assert!(text.contains("rules run, none fired"), "{text}");
+
+        // A redundant self-copy makes the lint section fire.
+        let group = StencilGroup::from(
+            Stencil::new(Expr::read_at("x", &[0, 0]), "x", RectDomain::interior(2))
+                .named("self_copy"),
+        );
+        let text = report_group(&group, &shapes).unwrap();
+        assert!(text.contains("finding(s)"), "{text}");
+        assert!(text.contains("redundant-copy"), "{text}");
     }
 
     #[test]

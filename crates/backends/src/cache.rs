@@ -132,6 +132,13 @@ impl CompileCache {
     pub fn tune_stats(&self) -> crate::metrics::TuneStats {
         self.backend.tune_stats()
     }
+
+    /// The wrapped backend's compile-time lint counters (see
+    /// [`crate::Backend::lint_stats`]; zeros unless the backend is wrapped
+    /// in a [`crate::lint::LintingBackend`]).
+    pub fn lint_stats(&self) -> crate::metrics::LintStats {
+        self.backend.lint_stats()
+    }
 }
 
 /// Structural cache key: the debug rendering of the group plus the sorted

@@ -37,6 +37,7 @@ pub mod codegen_ocl;
 pub mod dist;
 pub mod exec;
 pub mod interp;
+pub mod lint;
 pub mod metrics;
 pub mod oclsim;
 pub mod omp;
@@ -56,8 +57,9 @@ pub use checked::CheckedBackend;
 pub use cjit::CJitBackend;
 pub use dist::DistBackend;
 pub use interp::InterpreterBackend;
+pub use lint::{lint_plan, lint_stats, lints_to_error, LintingBackend};
 pub use metrics::{
-    CacheStats, CommStats, KernelCounters, PhaseSample, RunReport, SpecStats, TuneStats,
+    CacheStats, CommStats, KernelCounters, LintStats, PhaseSample, RunReport, SpecStats, TuneStats,
     VerifyStats,
 };
 pub use oclsim::OclSimBackend;
@@ -123,6 +125,13 @@ pub trait Backend: Send + Sync {
     /// else reports zeros via this default.
     fn tune_stats(&self) -> metrics::TuneStats {
         metrics::TuneStats::default()
+    }
+
+    /// Counters of this backend's compile-time semantic linting (see
+    /// [`lint::LintingBackend`]). Only the linting decorator lints;
+    /// everything else reports zeros via this default.
+    fn lint_stats(&self) -> metrics::LintStats {
+        metrics::LintStats::default()
     }
 
     /// The lowering options this backend compiles with. The static

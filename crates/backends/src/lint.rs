@@ -1,0 +1,224 @@
+//! Plan-time semantic linting (the backend half of `snowlint`; the pass
+//! pipeline lives in `snowflake-analysis::lint`).
+//!
+//! The static verifier ([`crate::verify`]) certifies a plan *safe* —
+//! in-bounds and race-free. This module asks whether it is *sensible*:
+//! [`lint_plan`] re-runs the coverage / halo / copy / weight passes over
+//! every `(group, shapes)` descriptor of a [`SolverPlan`] and returns one
+//! aggregated [`LintReport`]. The plan's op list is an *inventory* (the
+//! solver dispatches ops dynamically), so the order-sensitive liveness
+//! rules are only meaningful when the caller opts in with
+//! [`LintConfig::ordered`] on an execution-ordered program — the
+//! `snowlint` binary does exactly that with an unrolled v-cycle.
+//!
+//! [`LintingBackend`] is the `lint` knob of [`crate::BackendOptions`]: a
+//! decorator that lints every group at compile time, accumulates
+//! [`LintStats`] for the metrics schema (stamped through
+//! [`SolverPlan::stamp`] into `RunReport.lint`), and refuses to compile a
+//! group carrying deny-level lints — warn-level findings are counted, not
+//! fatal.
+
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use snowflake_analysis::{lint_group, lint_program, Lint, LintConfig, LintReport, Severity};
+use snowflake_core::{CoreError, Result, ShapeMap, StencilGroup};
+use snowflake_ir::LowerOptions;
+
+use crate::metrics::LintStats;
+use crate::plan::SolverPlan;
+use crate::{Backend, Executable};
+
+/// Lint every operator of a compiled plan with `config`, aggregating the
+/// per-op reports (rules-run counters sum; findings concatenate, already
+/// deduplicated per op by the pass pipeline).
+pub fn lint_plan(plan: &SolverPlan, config: &LintConfig) -> Result<LintReport> {
+    lint_program(plan.descriptors(), config)
+}
+
+/// A [`LintReport`] as metrics-schema counters. `suppressed` comes from
+/// the caller's `--allow` policy (zero when no policy was applied).
+pub fn lint_stats(report: &LintReport, suppressed: u64) -> LintStats {
+    LintStats {
+        rules_run: report.rules_run,
+        lints: report.lints.len() as u64,
+        suppressed,
+    }
+}
+
+/// Collapse a lint list into one backend error (for compile paths that
+/// must fail through the [`CoreError`] channel).
+pub fn lints_to_error(lints: &[Lint]) -> CoreError {
+    let mut msg = format!("lint failed with {} finding(s):", lints.len());
+    for l in lints {
+        let _ = write!(msg, "\n  {l}");
+    }
+    CoreError::Backend(msg)
+}
+
+/// A backend decorator that lints every group before compiling it: the
+/// `lint` knob of [`crate::BackendOptions`]. Deny-level findings abort the
+/// compile with [`lints_to_error`]; warn-level findings accumulate into
+/// the [`LintStats`] that [`SolverPlan::stamp`] copies into
+/// `RunReport.lint`. Reports the inner backend's name so registry
+/// round-trips stay transparent.
+pub struct LintingBackend {
+    inner: Box<dyn Backend>,
+    config: LintConfig,
+    stats: Mutex<LintStats>,
+}
+
+impl LintingBackend {
+    /// Wrap a backend; every compile now lints first with the default
+    /// (inventory-mode, permissive) configuration.
+    pub fn new(inner: Box<dyn Backend>) -> Self {
+        Self::with_config(inner, LintConfig::default())
+    }
+
+    /// As [`LintingBackend::new`] with an explicit configuration.
+    pub fn with_config(inner: Box<dyn Backend>, config: LintConfig) -> Self {
+        LintingBackend {
+            inner,
+            config,
+            stats: Mutex::new(LintStats::default()),
+        }
+    }
+}
+
+impl Backend for LintingBackend {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn compile(&self, group: &StencilGroup, shapes: &ShapeMap) -> Result<Box<dyn Executable>> {
+        let report = lint_group(group, shapes, &self.config)?;
+        let denied: Vec<Lint> = report
+            .lints
+            .iter()
+            .filter(|l| l.severity == Severity::Deny)
+            .cloned()
+            .collect();
+        if !denied.is_empty() {
+            return Err(lints_to_error(&denied));
+        }
+        {
+            let mut stats = self.stats.lock().unwrap();
+            stats.rules_run += report.rules_run;
+            stats.lints += report.lints.len() as u64;
+        }
+        self.inner.compile(group, shapes)
+    }
+
+    fn disk_cache_stats(&self) -> (u64, u64) {
+        self.inner.disk_cache_stats()
+    }
+
+    fn tune_stats(&self) -> crate::metrics::TuneStats {
+        self.inner.tune_stats()
+    }
+
+    fn lint_stats(&self) -> LintStats {
+        *self.stats.lock().unwrap()
+    }
+
+    fn lower_options(&self) -> LowerOptions {
+        self.inner.lower_options()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SequentialBackend;
+    use snowflake_core::{DomainUnion, Expr, RectDomain, Stencil};
+
+    fn shapes2(n: usize) -> ShapeMap {
+        let mut m = ShapeMap::new();
+        m.insert("x".into(), vec![n, n]);
+        m.insert("y".into(), vec![n, n]);
+        m
+    }
+
+    fn laplacian2() -> Expr {
+        Expr::read_at("x", &[-1, 0])
+            + Expr::read_at("x", &[1, 0])
+            + Expr::read_at("x", &[0, -1])
+            + Expr::read_at("x", &[0, 1])
+            - 4.0 * Expr::read_at("x", &[0, 0])
+    }
+
+    #[test]
+    fn clean_group_compiles_and_accumulates_rules_run() {
+        let lb = LintingBackend::new(Box::new(SequentialBackend::new()));
+        assert_eq!(lb.name(), "seq");
+        let group = StencilGroup::from(Stencil::new(laplacian2(), "y", RectDomain::interior(2)));
+        lb.compile(&group, &shapes2(8)).unwrap();
+        let stats = lb.lint_stats();
+        assert!(stats.rules_run >= 7, "inventory-mode passes all ran");
+        assert_eq!(stats.lints, 0);
+        assert_eq!(stats.suppressed, 0);
+    }
+
+    #[test]
+    fn coverage_gap_is_a_deny_level_compile_error() {
+        // A "red/black" pair whose black color is missing a row: the
+        // combined coloring no longer tiles its stride-1 bounding box.
+        let update = Expr::read_at("x", &[0, 0]) * 0.5;
+        let (red, _) = DomainUnion::red_black(2);
+        // True black is {rows 2,4,6,8}×{cols 1,3,5,7} ∪ {1,3,5,7}×{2,4,6,8}
+        // on a 10-grid; clipping the first rect's rows at -2 loses row 8.
+        let short_black = DomainUnion::new(vec![
+            RectDomain::new(&[2, 1], &[-2, -1], &[2, 2]),
+            RectDomain::new(&[1, 2], &[-1, -1], &[2, 2]),
+        ]);
+        let group = StencilGroup::new()
+            .with(Stencil::new(update.clone(), "x", red).named("red"))
+            .with(Stencil::new(update, "x", short_black).named("black"));
+        let lb = LintingBackend::new(Box::new(SequentialBackend::new()));
+        let Err(err) = lb.compile(&group, &shapes2(10)) else {
+            panic!("a coverage gap must abort the compile");
+        };
+        let err = err.to_string();
+        assert!(err.contains("coverage-gap"), "{err}");
+        assert!(err.contains("witness"), "{err}");
+    }
+
+    #[test]
+    fn plan_built_on_linting_backend_stamps_lint_stats() {
+        let group = StencilGroup::from(Stencil::new(laplacian2(), "y", RectDomain::interior(2)));
+        let ops = vec![(group, shapes2(8))];
+        let lb = LintingBackend::new(Box::new(SequentialBackend::new()));
+        let plan = SolverPlan::build(Box::new(lb), &ops).unwrap();
+        let mut report = crate::metrics::RunReport::new();
+        plan.stamp(&mut report);
+        assert!(report.lint.rules_run >= 7);
+        assert_eq!(report.lint.lints, 0);
+    }
+
+    #[test]
+    fn lint_plan_aggregates_over_descriptors() {
+        let group = StencilGroup::from(Stencil::new(laplacian2(), "y", RectDomain::interior(2)));
+        let ops = vec![(group.clone(), shapes2(8)), (group, shapes2(16))];
+        let plan = SolverPlan::build(Box::new(SequentialBackend::new()), &ops).unwrap();
+        let report = lint_plan(&plan, &LintConfig::default()).unwrap();
+        assert_eq!(report.rules_run, 7, "the 7 inventory-mode rules ran");
+        assert!(report.lints.is_empty());
+        let stats = lint_stats(&report, 3);
+        assert_eq!(stats.rules_run, 7);
+        assert_eq!(stats.lints, 0);
+        assert_eq!(stats.suppressed, 3);
+    }
+
+    #[test]
+    fn lints_collapse_into_one_error() {
+        use snowflake_analysis::LintRule;
+        let lints = vec![
+            Lint::new(LintRule::DeadStore, "first").stencil("a"),
+            Lint::new(LintRule::CoverageGap, "second").grid("g"),
+        ];
+        let msg = lints_to_error(&lints).to_string();
+        assert!(msg.contains("2 finding(s)"));
+        assert!(msg.contains("dead-store"));
+        assert!(msg.contains("coverage-gap"));
+    }
+}

@@ -121,6 +121,18 @@ pub struct VerifyStats {
     pub witnesses: u64,
 }
 
+/// Lint-engine counters: what the semantic linter found in the plan
+/// that produced this report (all zero when the run was not linted).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LintStats {
+    /// Lint rules the configuration allowed to run.
+    pub rules_run: u64,
+    /// Findings reported (after policy filtering).
+    pub lints: u64,
+    /// Findings suppressed by `allow` rules.
+    pub suppressed: u64,
+}
+
 /// A structured, accumulating profile of one executable (or one solver).
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct RunReport {
@@ -150,6 +162,8 @@ pub struct RunReport {
     pub spec: SpecStats,
     /// Tile auto-tuner counters (zero unless tuning was requested).
     pub tune: TuneStats,
+    /// Semantic-lint counters (zero unless the plan was linted).
+    pub lint: LintStats,
 }
 
 impl RunReport {
@@ -235,6 +249,11 @@ impl RunReport {
             s,
             ",\"tune\":{{\"disk_hits\":{},\"disk_misses\":{},\"candidates_timed\":{}}}",
             self.tune.disk_hits, self.tune.disk_misses, self.tune.candidates_timed
+        );
+        let _ = write!(
+            s,
+            ",\"lint\":{{\"rules_run\":{},\"lints\":{},\"suppressed\":{}}}",
+            self.lint.rules_run, self.lint.lints, self.lint.suppressed
         );
         s.push_str(",\"phases\":[");
         for (i, p) in self.phases.iter().enumerate() {
@@ -581,6 +600,11 @@ mod tests {
             disk_misses: 1,
             candidates_timed: 5,
         };
+        r.lint = LintStats {
+            rules_run: 10,
+            lints: 2,
+            suppressed: 1,
+        };
         r.compile_seconds = 0.125;
         r.finish_run(1.5);
         r
@@ -629,6 +653,10 @@ mod tests {
         assert_eq!(t.get("disk_hits").unwrap().as_u64(), Some(1));
         assert_eq!(t.get("disk_misses").unwrap().as_u64(), Some(1));
         assert_eq!(t.get("candidates_timed").unwrap().as_u64(), Some(5));
+        let l = doc.get("lint").unwrap();
+        assert_eq!(l.get("rules_run").unwrap().as_u64(), Some(10));
+        assert_eq!(l.get("lints").unwrap().as_u64(), Some(2));
+        assert_eq!(l.get("suppressed").unwrap().as_u64(), Some(1));
         let phases = doc.get("phases").unwrap().as_array().unwrap();
         assert_eq!(phases.len(), 2);
         assert_eq!(phases[0].get("index").unwrap().as_u64(), Some(0));

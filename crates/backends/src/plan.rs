@@ -142,6 +142,7 @@ impl SolverPlan {
         report.plan_ops = self.ops.len() as u64;
         report.cache = self.cache_stats();
         report.tune = self.cache.tune_stats();
+        report.lint = self.cache.lint_stats();
         report.set_backend(self.backend_name());
     }
 }

@@ -13,6 +13,7 @@ use std::path::PathBuf;
 use snowflake_core::{CoreError, Result};
 use snowflake_ir::LowerOptions;
 
+use crate::lint::LintingBackend;
 use crate::oclsim::WorkGroupShape;
 use crate::omp::OmpOptions;
 use crate::verify::VerifyingBackend;
@@ -62,6 +63,12 @@ pub struct BackendOptions {
     /// [`crate::verify::VerifyingBackend`], so `compile` fails with the
     /// verifier's diagnostics instead of running an uncertified plan.
     pub verify: bool,
+    /// Semantically lint every group before compiling it: the constructed
+    /// backend is wrapped in a [`crate::lint::LintingBackend`], so deny-level
+    /// findings (coverage gaps, double covers) fail `compile` with the lint
+    /// list, warn-level findings accumulate into the `lint{}` metrics block
+    /// stamped by [`crate::SolverPlan::stamp`].
+    pub lint: bool,
     /// Kernel specialization (see `crate::specialize`): `None` keeps each
     /// backend's default (on for every stock compiled backend),
     /// `Some(false)` forces the bytecode interpreter, `Some(true)` demands
@@ -92,6 +99,7 @@ impl Default for BackendOptions {
             cache_dir: None,
             disk_cache: true,
             verify: false,
+            lint: false,
             specialize: None,
             tune: false,
             tune_dir: None,
@@ -142,6 +150,12 @@ impl BackendOptions {
         self
     }
 
+    /// Require semantic linting before every compile (builder style).
+    pub fn with_lint(mut self, on: bool) -> Self {
+        self.lint = on;
+        self
+    }
+
     /// Force kernel specialization on or off (builder style); the default
     /// `None` keeps each backend's own default.
     pub fn with_specialize(mut self, on: bool) -> Self {
@@ -169,12 +183,14 @@ impl BackendOptions {
 /// names — an unusable toolchain (cjit without `cc`) surfaces later, from
 /// `compile`, exactly as when the backend is built directly.
 pub fn backend_from_name(name: &str, opts: &BackendOptions) -> Result<Box<dyn Backend>> {
-    let backend = build_backend(name, opts)?;
-    Ok(if opts.verify {
-        Box::new(VerifyingBackend::new(backend))
-    } else {
-        backend
-    })
+    let mut backend = build_backend(name, opts)?;
+    if opts.lint {
+        backend = Box::new(LintingBackend::new(backend));
+    }
+    if opts.verify {
+        backend = Box::new(VerifyingBackend::new(backend));
+    }
+    Ok(backend)
 }
 
 fn build_backend(name: &str, opts: &BackendOptions) -> Result<Box<dyn Backend>> {
@@ -268,6 +284,24 @@ mod tests {
                 backend.name(),
                 name,
                 "the verifying wrapper must report the inner backend's name"
+            );
+        }
+    }
+
+    #[test]
+    fn lint_knob_wraps_every_backend_name_transparently() {
+        let opts = BackendOptions::default().with_lint(true).with_verify(true);
+        for &name in available_backends() {
+            let backend = backend_from_name(name, &opts).expect("registered name");
+            assert_eq!(
+                backend.name(),
+                name,
+                "the linting wrapper must report the inner backend's name"
+            );
+            assert_eq!(
+                backend.lint_stats(),
+                crate::metrics::LintStats::default(),
+                "no compiles yet, so no rules have run"
             );
         }
     }

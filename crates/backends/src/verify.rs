@@ -465,6 +465,10 @@ impl Backend for VerifyingBackend {
         self.inner.tune_stats()
     }
 
+    fn lint_stats(&self) -> crate::metrics::LintStats {
+        self.inner.lint_stats()
+    }
+
     fn lower_options(&self) -> LowerOptions {
         self.inner.lower_options()
     }

@@ -25,7 +25,10 @@ fn main() {
     let stream_elems = arg_usize_or_exit(&args, "--stream-elems", 1 << 22);
     let metrics_path = arg_value(&args, "--metrics-json");
     let verify = arg_flag(&args, "--verify");
-    let opts = BackendOptions::default().with_verify(verify);
+    let lint = arg_flag(&args, "--lint");
+    let opts = BackendOptions::default()
+        .with_verify(verify)
+        .with_lint(lint);
 
     println!("Figure 7 — performance for {n}^3 (10^9 stencils/s)");
     let bw = measure_dot_bandwidth(stream_elems, 3);
@@ -61,6 +64,11 @@ fn main() {
                     // An uncertified plan under --verify is a refusal, not
                     // a skip.
                     if verify && e.to_string().contains("verification failed") {
+                        eprintln!("error: {label} on {kind:?}: {e}");
+                        std::process::exit(1);
+                    }
+                    // So is a deny-level lint finding under --lint.
+                    if lint && e.to_string().contains("lint failed") {
                         eprintln!("error: {label} on {kind:?}: {e}");
                         std::process::exit(1);
                     }

@@ -25,7 +25,10 @@ fn main() {
     let reps = arg_usize_or_exit(&args, "--reps", 5);
     let metrics_path = arg_value(&args, "--metrics-json");
     let verify = arg_flag(&args, "--verify");
-    let opts = BackendOptions::default().with_verify(verify);
+    let lint = arg_flag(&args, "--lint");
+    let opts = BackendOptions::default()
+        .with_verify(verify)
+        .with_lint(lint);
 
     let mut sizes = vec![32usize, 64, 128, 256];
     sizes.retain(|&s| s <= max);
@@ -64,6 +67,11 @@ fn main() {
                     // An uncertified plan under --verify is a refusal, not
                     // a skip.
                     if verify && e.to_string().contains("verification failed") {
+                        eprintln!("error: {label} at {n}^3: {e}");
+                        std::process::exit(1);
+                    }
+                    // So is a deny-level lint finding under --lint.
+                    if lint && e.to_string().contains("lint failed") {
                         eprintln!("error: {label} at {n}^3: {e}");
                         std::process::exit(1);
                     }

@@ -19,6 +19,11 @@
 //! [`RunReport`] profiles (schema in README.md), including `plan_ops` and
 //! the disk-cache hit/miss counters.
 //!
+//! `--verify` statically certifies the compiled plan before running it;
+//! `--lint` semantically lints it (deny-level findings refuse the run,
+//! counters surface in each report's `lint` object — see `snowlint` for
+//! the standalone driver).
+//!
 //! `--no-specialize` disables the plan-time kernel specializer (every
 //! kernel runs on the generic interpreter paths); `--tune` enables the
 //! persisted tile auto-tuner on backends that support it (`omp`), whose
@@ -30,7 +35,8 @@
 use std::time::Instant;
 
 use hpgmg::{HandSolver, Problem, Smoother, SnowSolver, SolveOptions};
-use snowflake_backends::{backend_from_name, verify_plan, BackendOptions};
+use snowflake_analysis::LintConfig;
+use snowflake_backends::{backend_from_name, lint_plan, verify_plan, BackendOptions};
 use snowflake_bench::{
     arg_flag, arg_usize_or_exit, arg_value, print_table, write_metrics_json, MetricsRow, Who,
 };
@@ -46,8 +52,9 @@ fn main() {
     };
     let fmg = args.iter().any(|a| a == "--fcycle");
     let verify = arg_flag(&args, "--verify");
+    let lint = arg_flag(&args, "--lint");
     let metrics_path = arg_value(&args, "--metrics-json");
-    let mut backend_opts = BackendOptions::default();
+    let mut backend_opts = BackendOptions::default().with_lint(lint);
     if arg_flag(&args, "--no-specialize") {
         backend_opts = backend_opts.with_specialize(false);
     }
@@ -140,6 +147,27 @@ fn main() {
                 } else {
                     None
                 };
+                // --lint: the backend wrapper already refused deny-level
+                // findings at compile time; re-lint the whole plan here to
+                // print the inventory-mode summary (and any warnings).
+                if lint {
+                    match lint_plan(solver.plan(), &LintConfig::default()) {
+                        Ok(report) => {
+                            println!(
+                                "({label} linted: {} rules run, {} finding(s))",
+                                report.rules_run,
+                                report.lints.len()
+                            );
+                            for l in &report.lints {
+                                println!("  {l}");
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("error: {label} plan failed linting: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
                 solver.solve(1).expect("warm-up");
                 if metrics_path.is_some() {
                     solver.enable_metrics();
@@ -170,6 +198,12 @@ fn main() {
                 }
             }
             Err(e) => {
+                // A deny-level lint finding under --lint is a refusal, not
+                // a skip.
+                if lint && e.to_string().contains("lint failed") {
+                    eprintln!("error: {label}: {e}");
+                    std::process::exit(1);
+                }
                 // An unavailable backend (e.g. cjit without a C compiler)
                 // is a skipped row, not a failed figure.
                 eprintln!("({label} skipped: {e})");

@@ -22,6 +22,12 @@
 //! `witnesses == 0`. Pair with `figure9 --smoke --verify --metrics-json`
 //! so uncertified plans cannot slip through CI.
 //!
+//! With `--lint`, additionally refuses (exit 1) unless every Snowflake
+//! row in both documents carries a `lint` counters block proving the plan
+//! was semantically linted clean: `rules_run > 0` and `lints == 0`. Pair
+//! with `figure9 --smoke --lint --metrics-json` so unlinted (or
+//! warning-carrying) plans cannot slip through CI.
+//!
 //! With `--tune`, the documents are instead two consecutive
 //! `figure9 --smoke --backend omp --tune` runs sharing one
 //! `SNOWFLAKE_TUNE_DIR`: the checks switch to the omp row's `tune` and
@@ -208,15 +214,61 @@ fn verify_facts(path: &str) -> Result<Vec<VerifyFacts>, String> {
     Ok(facts)
 }
 
+/// Per-row `lint` counter facts for the `--lint` assertions.
+struct LintFacts {
+    implementation: String,
+    rules_run: u64,
+    lints: u64,
+}
+
+/// Extract the `lint` block of every Snowflake row that has a report. A
+/// Snowflake row *without* a `lint` block is itself an error under
+/// `--lint`: the run was not linted.
+fn lint_facts(path: &str) -> Result<Vec<LintFacts>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))?;
+    let rows = doc
+        .get("rows")
+        .and_then(|r| r.as_array())
+        .ok_or_else(|| format!("{path}: no \"rows\" array"))?;
+    let mut facts = Vec::new();
+    for row in rows {
+        let Some(implementation) = row.get("impl").and_then(|v| v.as_str()) else {
+            continue;
+        };
+        if !implementation.starts_with("Snowflake/") {
+            continue; // the hand baseline is not a DSL program; nothing to lint
+        }
+        let Some(report) = row.get("report") else {
+            continue;
+        };
+        let lint = report
+            .get("lint")
+            .ok_or_else(|| format!("{path}: {implementation} report has no lint block"))?;
+        let field_u64 = |key: &str| {
+            lint.get(key)
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| format!("{path}: {implementation} lint block missing {key}"))
+        };
+        facts.push(LintFacts {
+            implementation: implementation.to_string(),
+            rules_run: field_u64("rules_run")?,
+            lints: field_u64("lints")?,
+        });
+    }
+    Ok(facts)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let check_verify = arg_flag(&args, "--verify");
+    let check_lint = arg_flag(&args, "--lint");
     let tune_mode = arg_flag(&args, "--tune");
     let paths: Vec<&String> = args[1..].iter().filter(|a| !a.starts_with("--")).collect();
     let [first_path, second_path] = match paths.as_slice() {
         [a, b] => [(*a).clone(), (*b).clone()],
         _ => {
-            eprintln!("usage: smokecheck [--verify|--tune] <first.json> <second.json>");
+            eprintln!("usage: smokecheck [--verify|--lint|--tune] <first.json> <second.json>");
             std::process::exit(2);
         }
     };
@@ -265,6 +317,40 @@ fn main() {
             if !failed {
                 println!(
                     "smokecheck: {path}: {} Snowflake row(s) certified",
+                    facts.len()
+                );
+            }
+        }
+    }
+    if check_lint {
+        for path in [&first_path, &second_path] {
+            let facts = lint_facts(path).unwrap_or_else(|e| {
+                eprintln!("FAIL: {e}");
+                std::process::exit(1);
+            });
+            if facts.is_empty() {
+                eprintln!("FAIL: {path}: no linted Snowflake rows to check");
+                failed = true;
+            }
+            for f in &facts {
+                if f.rules_run == 0 {
+                    eprintln!(
+                        "FAIL: {path}: {} ran with an unlinted plan (0 rules run)",
+                        f.implementation
+                    );
+                    failed = true;
+                }
+                if f.lints > 0 {
+                    eprintln!(
+                        "FAIL: {path}: {} plan carries {} lint finding(s)",
+                        f.implementation, f.lints
+                    );
+                    failed = true;
+                }
+            }
+            if !failed {
+                println!(
+                    "smokecheck: {path}: {} Snowflake row(s) linted clean",
                     facts.len()
                 );
             }

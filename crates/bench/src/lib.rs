@@ -25,10 +25,11 @@ use std::time::Instant;
 use hpgmg::problem::{LevelData, Problem};
 use hpgmg::stencils::{apply_op_group, gsrb_smooth_group, jacobi_group, Coeff, Names};
 use roofline::StencilKind;
+use snowflake_analysis::{lint_group, LintConfig, Severity};
 use snowflake_backends::metrics::json;
 use snowflake_backends::{
-    backend_from_name, diagnostics_to_error, verify_op, Backend, BackendOptions, CJitBackend,
-    Executable, RunReport, VerifyStats,
+    backend_from_name, diagnostics_to_error, lint_stats, lints_to_error, verify_op, Backend,
+    BackendOptions, CJitBackend, Executable, LintStats, RunReport, VerifyStats,
 };
 use snowflake_core::Result;
 use snowflake_grid::GridSet;
@@ -138,6 +139,11 @@ pub struct KernelBench {
     /// [`KernelBench::sweep_with_report`]). `None` for unverified builds
     /// and for the hand baseline (no compiled plan to certify).
     pub verify: Option<VerifyStats>,
+    /// Semantic-lint counters, populated when the bench was built with
+    /// `--lint` (stamped into reports by
+    /// [`KernelBench::sweep_with_report`]). `None` for unlinted builds and
+    /// for the hand baseline (no DSL program to lint).
+    pub lint: Option<LintStats>,
     runner: KernelRunner,
 }
 
@@ -178,6 +184,9 @@ impl KernelBench {
     /// statically certified before compilation (and the backend itself is
     /// a verifying wrapper): an uncertified plan is a build error carrying
     /// the verifier's diagnostics, so `--verify` figures refuse to run it.
+    /// When `opts.lint` is set the group is semantically linted the same
+    /// way: deny-level findings abort the build via [`lints_to_error`],
+    /// warn-level findings are counted into [`KernelBench::lint`].
     pub fn build_named_opts(
         kind: StencilKind,
         backend: Option<&str>,
@@ -197,6 +206,7 @@ impl KernelBench {
                 Ok(KernelBench {
                     stencils_per_sweep,
                     verify: None,
+                    lint: None,
                     runner: KernelRunner::Hand { lvl, problem, kind },
                 })
             }
@@ -240,10 +250,26 @@ impl KernelBench {
                 } else {
                     None
                 };
+                let lint = if opts.lint {
+                    let report = lint_group(&group, &grids.shapes(), &LintConfig::default())?;
+                    let denied: Vec<_> = report
+                        .lints
+                        .iter()
+                        .filter(|l| l.severity == Severity::Deny)
+                        .cloned()
+                        .collect();
+                    if !denied.is_empty() {
+                        return Err(lints_to_error(&denied));
+                    }
+                    Some(lint_stats(&report, 0))
+                } else {
+                    None
+                };
                 let exe = backend.compile(&group, &grids.shapes())?;
                 Ok(KernelBench {
                     stencils_per_sweep,
                     verify,
+                    lint,
                     runner: KernelRunner::Snow { grids, exe },
                 })
             }
@@ -274,6 +300,9 @@ impl KernelBench {
         }
         if let Some(v) = self.verify {
             report.verify = v;
+        }
+        if let Some(l) = self.lint {
+            report.lint = l;
         }
     }
 
@@ -486,6 +515,24 @@ mod tests {
         // The hand baseline has no plan to certify.
         let kb = KernelBench::build_named_opts(StencilKind::Cc7pt, None, 8, &opts).unwrap();
         assert!(kb.verify.is_none());
+    }
+
+    #[test]
+    fn linted_build_stamps_lint_counters_into_reports() {
+        let opts = BackendOptions::default().with_lint(true);
+        // Every figure-7 kernel must lint clean with zero findings.
+        for kind in StencilKind::all() {
+            let mut kb = KernelBench::build_named_opts(kind, Some("seq"), 8, &opts).unwrap();
+            let stats = kb.lint.expect("linted build carries counters");
+            assert!(stats.rules_run >= 7, "{kind:?}");
+            assert_eq!(stats.lints, 0, "{kind:?}");
+            let mut report = RunReport::new();
+            kb.sweep_with_report(&mut report);
+            assert_eq!(report.lint, stats);
+        }
+        // The hand baseline has no DSL program to lint.
+        let kb = KernelBench::build_named_opts(StencilKind::Cc7pt, None, 8, &opts).unwrap();
+        assert!(kb.lint.is_none());
     }
 
     #[test]

@@ -443,6 +443,40 @@ mod tests {
     }
 
     #[test]
+    fn gsrb_red_black_exactly_tiles_the_interior() {
+        // Regression guard for the smoother's coloring: red ∪ black must
+        // cover every interior cell exactly once — a gap leaves stale
+        // values (silent wrong answers), a double-cover breaks the
+        // Gauss–Seidel ordering. `check_coverage` proves both directions
+        // with Diophantine witness search, so this holds for every size,
+        // not just the cells a sampled test happens to visit.
+        use snowflake_analysis::check_coverage;
+        for n in [4usize, 8, 16] {
+            let names = Names::level(0);
+            let group = gsrb_smooth_group(&names, Coeff::Variable, 0.0, 1.0, 64.0);
+            let shapes = shapes(0, n);
+            let red = &group.stencils()[6];
+            let black = &group.stencils()[13];
+            let mut parts = red.resolve(&shapes).unwrap();
+            parts.extend(black.resolve(&shapes).unwrap());
+            let interior = snowflake_core::RectDomain::interior(3)
+                .resolve(&[n + 2, n + 2, n + 2])
+                .unwrap();
+            let cov = check_coverage(&interior, &parts);
+            assert!(
+                cov.is_exact(),
+                "n={n}: gap {:?} double {:?}",
+                cov.gap,
+                cov.double
+            );
+            // One color alone must NOT tile it (the check has teeth).
+            let red_only = red.resolve(&shapes).unwrap();
+            let partial = check_coverage(&interior, &red_only);
+            assert!(partial.gap.is_some(), "red alone leaves a gap");
+        }
+    }
+
+    #[test]
     fn boundary_stencils_cover_six_faces() {
         let faces = boundary_stencils("x_0");
         assert_eq!(faces.len(), 6);
